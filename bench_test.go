@@ -1,0 +1,296 @@
+// Top-level benchmarks: one per reproduced artifact, as indexed in
+// DESIGN.md §4. They exercise exactly the code paths the experiment tables
+// report (same drivers), so `go test -bench=. -benchmem` regenerates the
+// performance shape of every figure and table. Custom metrics report the
+// interesting virtual-time quantities alongside wall-clock ns/op.
+package main
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/lang"
+	"repro/internal/machine"
+	"repro/internal/scenario"
+)
+
+// mustWorkload resolves a spec or aborts the benchmark.
+func mustWorkload(b *testing.B, spec string) core.Workload {
+	b.Helper()
+	w, err := core.StandardWorkload(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// runOnce executes one configured run and reports virtual-time metrics.
+func runOnce(b *testing.B, cfg core.Config, w core.Workload, plan *faults.Plan) *core.Report {
+	b.Helper()
+	rep, err := cfg.Run(w, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Err != nil {
+		b.Fatal(rep.Err)
+	}
+	return rep
+}
+
+// --- F1/F2: the Figure 1 tree under both recovery schemes ---
+
+func BenchmarkFig1RollbackRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.RunFig1Rollback()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("figure 1 run did not complete")
+		}
+	}
+}
+
+func BenchmarkFig23SpliceRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.RunFig23Splice()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("figures 2-3 run did not complete")
+		}
+	}
+}
+
+// --- F5/F6: ordering cases and state sweep ---
+
+func BenchmarkFig5EightCases(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for c := 1; c <= 8; c++ {
+			res, err := scenario.RunFig5Case(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Completed {
+				b.Fatalf("case %d failed", c)
+			}
+		}
+	}
+}
+
+func BenchmarkFig67StateSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, scheme := range []string{"rollback", "splice"} {
+			for st := byte('a'); st <= 'g'; st++ {
+				res, err := scenario.RunFig67State(st, scheme)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Completed {
+					b.Fatalf("state %c/%s failed", st, scheme)
+				}
+			}
+		}
+	}
+}
+
+// --- T1: fault-free overhead ---
+
+func BenchmarkOverheadNoFaultTolerance(b *testing.B) {
+	w := mustWorkload(b, "fib:13")
+	var last *core.Report
+	for i := 0; i < b.N; i++ {
+		last = runOnce(b, core.Config{Procs: 8, Seed: 1, DisableCheckpoints: true}, w, nil)
+	}
+	b.ReportMetric(float64(last.Makespan), "vticks")
+	b.ReportMetric(float64(last.Metrics.TotalMessages()), "msgs")
+}
+
+func BenchmarkOverheadFunctionalCkpt(b *testing.B) {
+	w := mustWorkload(b, "fib:13")
+	var last *core.Report
+	for i := 0; i < b.N; i++ {
+		last = runOnce(b, core.Config{Procs: 8, Seed: 1, Recovery: "rollback"}, w, nil)
+	}
+	b.ReportMetric(float64(last.Makespan), "vticks")
+	b.ReportMetric(float64(last.Metrics.CheckpointBytes), "ckptB")
+}
+
+func BenchmarkOverheadPeriodicGlobalModel(b *testing.B) {
+	w := mustWorkload(b, "fib:13")
+	cfg := core.Config{Procs: 8, Seed: 1, DisableCheckpoints: true,
+		Raw: &machine.Config{StateProbeEvery: 64}}
+	var pause int64
+	for i := 0; i < b.N; i++ {
+		rep := runOnce(b, cfg, w, nil)
+		out, err := baseline.Model(baseline.DefaultPGCParams(int64(rep.Makespan)/10), rep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pause = out.PauseTotal
+	}
+	b.ReportMetric(float64(pause), "pause_vticks")
+}
+
+// --- T2: recovery cost by fault time ---
+
+func benchRecoveryAt(b *testing.B, scheme string, frac int64) {
+	w := mustWorkload(b, "tree:3,6")
+	cfg := core.Config{Procs: 9, Seed: 1, Recovery: scheme}
+	base := runOnce(b, cfg, w, nil)
+	at := int64(base.Makespan) * frac / 100
+	var last *core.Report
+	for i := 0; i < b.N; i++ {
+		last = runOnce(b, cfg, w, faults.Crash(1, at, true))
+		if !last.Completed {
+			b.Fatal("recovery failed")
+		}
+	}
+	b.ReportMetric(float64(last.Makespan)/float64(base.Makespan), "slowdown")
+	b.ReportMetric(float64(last.Metrics.StepsExecuted-base.Metrics.StepsExecuted), "extra_steps")
+}
+
+func BenchmarkRecoveryRollbackEarlyFault(b *testing.B) { benchRecoveryAt(b, "rollback", 20) }
+func BenchmarkRecoveryRollbackLateFault(b *testing.B)  { benchRecoveryAt(b, "rollback", 80) }
+func BenchmarkRecoverySpliceEarlyFault(b *testing.B)   { benchRecoveryAt(b, "splice", 20) }
+func BenchmarkRecoverySpliceLateFault(b *testing.B)    { benchRecoveryAt(b, "splice", 80) }
+
+// --- T3: processor scaling ---
+
+func benchScale(b *testing.B, procs int) {
+	w := mustWorkload(b, "tree:3,6")
+	cfg := core.Config{Procs: procs, Seed: 1, Recovery: "rollback"}
+	var last *core.Report
+	for i := 0; i < b.N; i++ {
+		last = runOnce(b, cfg, w, nil)
+	}
+	b.ReportMetric(float64(last.Makespan), "vticks")
+}
+
+func BenchmarkScaleProcs4(b *testing.B)  { benchScale(b, 4) }
+func BenchmarkScaleProcs16(b *testing.B) { benchScale(b, 16) }
+func BenchmarkScaleProcs64(b *testing.B) { benchScale(b, 64) }
+
+// --- T4: multiple faults ---
+
+func BenchmarkMultiFaultSpliceSeparateBranches(b *testing.B) {
+	w := mustWorkload(b, "tree:4,5")
+	plan := faults.None().
+		Add(faults.Fault{At: 800, Proc: 1, Kind: faults.CrashAnnounced}).
+		Add(faults.Fault{At: 2000, Proc: 5, Kind: faults.CrashAnnounced})
+	cfg := core.Config{Procs: 9, Seed: 1, Recovery: "splice"}
+	for i := 0; i < b.N; i++ {
+		rep := runOnce(b, cfg, w, plan)
+		if !rep.Completed {
+			b.Fatal("multi-fault recovery failed")
+		}
+	}
+}
+
+// --- T5: replication and voting ---
+
+func benchReplication(b *testing.B, r int) {
+	prog := lang.CriticalSections(12, 400)
+	w := core.Workload{Program: prog, Fn: "main"}
+	plan := &faults.Plan{Faults: []faults.Fault{{At: 0, Proc: 3, Kind: faults.Corrupt}}}
+	cfg := core.Config{Procs: 8, Seed: 1}
+	if r > 1 {
+		cfg.Replication = map[string]int{"work": r}
+	}
+	var last *core.Report
+	for i := 0; i < b.N; i++ {
+		last = runOnce(b, cfg, w, plan)
+	}
+	b.ReportMetric(float64(last.Metrics.Votes), "votes")
+	b.ReportMetric(float64(last.Metrics.MsgTask), "task_msgs")
+}
+
+func BenchmarkReplicationVotingR1(b *testing.B) { benchReplication(b, 1) }
+func BenchmarkReplicationVotingR3(b *testing.B) { benchReplication(b, 3) }
+func BenchmarkReplicationVotingR5(b *testing.B) { benchReplication(b, 5) }
+
+// --- T6: placement policies through a fault ---
+
+func benchPlacement(b *testing.B, placement string) {
+	w := mustWorkload(b, "tree:3,6")
+	cfg := core.Config{Procs: 9, Seed: 1, Recovery: "rollback", Placement: placement}
+	base := runOnce(b, cfg, w, nil)
+	at := int64(base.Makespan) / 2
+	var last *core.Report
+	for i := 0; i < b.N; i++ {
+		last = runOnce(b, cfg, w, faults.Crash(1, at, true))
+		if !last.Completed {
+			b.Fatal("recovery failed")
+		}
+	}
+	b.ReportMetric(float64(last.Makespan)/float64(base.Makespan), "stretch")
+}
+
+func BenchmarkStaticVsDynamicRecoveryGradient(b *testing.B) { benchPlacement(b, "gradient") }
+func BenchmarkStaticVsDynamicRecoveryRandom(b *testing.B)   { benchPlacement(b, "random") }
+func BenchmarkStaticVsDynamicRecoveryStatic(b *testing.B)   { benchPlacement(b, "static") }
+
+// --- T7: TMR baseline ---
+
+func BenchmarkTMRBaseline(b *testing.B) {
+	w := mustWorkload(b, "fib:10")
+	cfg := core.Config{Procs: 8, Seed: 1,
+		Replication: baseline.ReplicateAll(w.Program.Names(), 3)}
+	var last *core.Report
+	for i := 0; i < b.N; i++ {
+		last = runOnce(b, cfg, w, nil)
+	}
+	b.ReportMetric(float64(last.Metrics.StepsExecuted), "steps")
+}
+
+// --- Ablations ---
+
+func BenchmarkAblationEagerAbort(b *testing.B) {
+	w := mustWorkload(b, "tree:3,6")
+	cfg := core.Config{Procs: 9, Seed: 1, Recovery: "rollback"}
+	base := runOnce(b, cfg, w, nil)
+	at := int64(base.Makespan) / 2
+	var last *core.Report
+	for i := 0; i < b.N; i++ {
+		last = runOnce(b, cfg, w, faults.Crash(1, at, true))
+	}
+	b.ReportMetric(float64(last.Metrics.StepsWasted), "wasted_steps")
+}
+
+func BenchmarkAblationLazyAbort(b *testing.B) {
+	w := mustWorkload(b, "tree:3,6")
+	cfg := core.Config{Procs: 9, Seed: 1, Recovery: "rollback-lazy"}
+	base := runOnce(b, cfg, w, nil)
+	at := int64(base.Makespan) / 2
+	var last *core.Report
+	for i := 0; i < b.N; i++ {
+		last = runOnce(b, cfg, w, faults.Crash(1, at, true))
+	}
+	b.ReportMetric(float64(last.Metrics.StepsWasted), "wasted_steps")
+}
+
+func BenchmarkAblationNoSuppression(b *testing.B) {
+	w := mustWorkload(b, "tree:3,6")
+	cfg := core.Config{Procs: 9, Seed: 1, Recovery: "rollback-nosuppress"}
+	base := runOnce(b, cfg, w, nil)
+	at := int64(base.Makespan) * 2 / 3
+	var last *core.Report
+	for i := 0; i < b.N; i++ {
+		last = runOnce(b, cfg, w, faults.Crash(1, at, true))
+	}
+	b.ReportMetric(float64(last.Metrics.Reissues), "reissues")
+}
+
+// --- End-to-end table generation (the full T1 driver) ---
+
+func BenchmarkExperimentT1Table(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.T1Overhead("fib:11", 8, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

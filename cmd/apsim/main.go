@@ -1,0 +1,181 @@
+// Command apsim runs one program on the simulated applicative
+// multiprocessor and prints what happened: the answer, the virtual-time
+// makespan, the metric counters, and (optionally) the full event trace.
+//
+// Examples:
+//
+//	apsim -workload fib:16 -procs 16 -topology mesh -placement gradient
+//	apsim -workload nqueens:6 -recovery splice -fault 2@3000 -trace
+//	apsim -workload tree:4,6 -recovery rollback -fault 1@2000,5@6000s
+//
+// Fault specs are PROC@TIME (announced crash), PROC@TIMEs (silent crash) or
+// PROC@TIMEc (value corruption from TIME on), comma-separated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/faults"
+	"repro/internal/lang"
+	"repro/internal/proto"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "fib:14", "workload spec: fib:N tak:X,Y,Z nqueens:N sumrange:N msort:N tree:F,D binom:N,K")
+		program   = flag.String("program", "", "path to a program file (overrides -workload; see internal/lang.Parse for the syntax)")
+		entry     = flag.String("entry", "main", "entry function for -program")
+		argSpec   = flag.String("args", "", "comma-separated integer arguments for -program's entry function")
+		procs     = flag.Int("procs", 8, "number of processors")
+		topo      = flag.String("topology", "mesh", "ring|mesh|hypercube|complete|star")
+		placement = flag.String("placement", "random", "random|gradient|static|local")
+		recov     = flag.String("recovery", "none", "none|rollback|rollback-lazy|splice")
+		ancestors = flag.Int("ancestors", 2, "ancestor-pointer depth K (§5.2)")
+		replicate = flag.Int("replicate", 1, "replica count for every function (§5.3; requires -recovery none)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		faultSpec = flag.String("fault", "", "fault plan, e.g. 2@3000 or 1@2000s,3@4000c")
+		showTrace = flag.Bool("trace", false, "print the event trace")
+		deadline  = flag.Int64("deadline", 0, "virtual-time budget (0 = default)")
+	)
+	flag.Parse()
+
+	var w core.Workload
+	var err error
+	if *program != "" {
+		src, rerr := os.ReadFile(*program)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		prog, perr := lang.Parse(string(src))
+		if perr != nil {
+			fatal(perr)
+		}
+		args, aerr := parseArgs(*argSpec)
+		if aerr != nil {
+			fatal(aerr)
+		}
+		w = core.Workload{Program: prog, Fn: *entry, Args: args}
+	} else if w, err = core.StandardWorkload(*workload); err != nil {
+		fatal(err)
+	}
+	plan, err := parseFaults(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Config{
+		Procs:         *procs,
+		Topology:      *topo,
+		Placement:     *placement,
+		Recovery:      *recov,
+		AncestorDepth: *ancestors,
+		Seed:          *seed,
+		Trace:         *showTrace,
+		Deadline:      *deadline,
+	}
+	if *replicate > 1 {
+		cfg.Replication = map[string]int{}
+		for _, fn := range w.Program.Names() {
+			cfg.Replication[fn] = *replicate
+		}
+	}
+	rep, err := cfg.Run(w, plan)
+	if err != nil {
+		fatal(err)
+	}
+	if rep.Err != nil {
+		fatal(rep.Err)
+	}
+	if *showTrace && rep.Log != nil {
+		fmt.Print(rep.Log.String())
+		fmt.Println()
+	}
+	label := *workload
+	if *program != "" {
+		label = fmt.Sprintf("%s:%s(%s)", *program, *entry, *argSpec)
+	}
+	fmt.Printf("workload   : %s\n", label)
+	fmt.Printf("machine    : %d processors, %s, placement=%s, recovery=%s, seed=%d\n",
+		rep.Procs, *topo, rep.Placement, rep.Scheme, *seed)
+	if len(plan.Faults) > 0 {
+		fmt.Printf("faults     : %v\n", plan.Faults)
+	}
+	if rep.Completed {
+		fmt.Printf("answer     : %s\n", rep.Answer)
+		// Cross-check against the sequential reference evaluator.
+		want, err := lang.RefEval(w.Program, w.Fn, w.Args)
+		if err == nil {
+			if rep.Answer.Equal(want) {
+				fmt.Printf("reference  : %s (match)\n", want)
+			} else {
+				fmt.Printf("reference  : %s (MISMATCH)\n", want)
+			}
+		}
+	} else {
+		fmt.Printf("answer     : NONE — run did not complete by t=%d\n", rep.Makespan)
+	}
+	fmt.Printf("makespan   : %d virtual ticks (%d events)\n", rep.Makespan, rep.Events)
+	fmt.Println("metrics    :")
+	for _, row := range rep.Metrics.Rows() {
+		fmt.Printf("  %s\n", row)
+	}
+}
+
+// parseFaults parses "2@3000,1@4000s,5@100c".
+func parseFaults(spec string) (*faults.Plan, error) {
+	plan := faults.None()
+	if spec == "" {
+		return plan, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kind := faults.CrashAnnounced
+		switch {
+		case strings.HasSuffix(part, "s"):
+			kind = faults.CrashSilent
+			part = strings.TrimSuffix(part, "s")
+		case strings.HasSuffix(part, "c"):
+			kind = faults.Corrupt
+			part = strings.TrimSuffix(part, "c")
+		}
+		bits := strings.SplitN(part, "@", 2)
+		if len(bits) != 2 {
+			return nil, fmt.Errorf("bad fault %q (want PROC@TIME[s|c])", part)
+		}
+		p, err := strconv.Atoi(bits[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad fault processor %q: %v", bits[0], err)
+		}
+		at, err := strconv.ParseInt(bits[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fault time %q: %v", bits[1], err)
+		}
+		plan.Add(faults.Fault{At: at, Proc: proto.ProcID(p), Kind: kind})
+	}
+	return plan, nil
+}
+
+// parseArgs parses "3,5" into integer values.
+func parseArgs(spec string) ([]expr.Value, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []expr.Value
+	for _, part := range strings.Split(spec, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad argument %q: %v", part, err)
+		}
+		out = append(out, expr.VInt(v))
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+// Replicated critical sections (§5.3): a processor that silently corrupts
+// every value it computes is outvoted by replicated task packets with
+// asynchronous majority voting — and without replication the corruption
+// reaches the final answer undetected.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/lang"
+)
+
+func main() {
+	// Twelve "critical" work calls fanned out by one coordinator; work(i)
+	// computes i+1 after a deterministic amount of arithmetic.
+	prog := lang.CriticalSections(12, 400)
+	w := core.Workload{Program: prog, Fn: "main"}
+	want, err := lang.RefEval(prog, "main", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Processor 3 corrupts every result it produces, from the start.
+	plan := &faults.Plan{Faults: []faults.Fault{{At: 0, Proc: 3, Kind: core.Corrupt}}}
+
+	fmt.Printf("reference answer: %v   (corrupt processor: 3)\n\n", want)
+	fmt.Printf("%-14s %-10s %-8s %-16s %-12s\n", "replication", "answer", "correct", "corrupt outvoted", "task msgs")
+	for _, r := range []int{1, 3, 5} {
+		cfg := core.Config{Procs: 8, Seed: 9}
+		if r > 1 {
+			cfg.Replication = map[string]int{"work": r}
+		}
+		rep, err := cfg.Run(w, plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep.Err != nil {
+			log.Fatal(rep.Err)
+		}
+		label := "none"
+		if r > 1 {
+			label = fmt.Sprintf("work ×%d", r)
+		}
+		fmt.Printf("%-14s %-10v %-8v %-16d %-12d\n",
+			label, rep.Answer, rep.Answer.Equal(want),
+			rep.Metrics.VoteMismatches, rep.Metrics.MsgTask)
+	}
+	fmt.Println()
+	fmt.Println("R=1 completes quickly but wrongly — crash recovery cannot mask value")
+	fmt.Println("faults. R=3/5 places replicas on distinct processors, votes as soon as")
+	fmt.Println("a majority of identical answers arrives (no waiting for the slowest),")
+	fmt.Println("and the corrupt processor's answers are simply outvoted.")
+}

@@ -1,0 +1,180 @@
+// Package checkpoint implements the functional checkpoint store of §2–3:
+// each processor retains a copy of every task packet it spawned, keyed by
+// the destination processor the task settled on — "Each processor maintains
+// a table of linked lists. The Nth entry of the table contains all topmost
+// checkpoints from the host processor to processor N" (§3.2).
+//
+// The store keeps *all* pending checkpoints (not just topmost ones) because
+// entries are released as children complete, which can promote a previously
+// shadowed checkpoint to topmost; the topmost antichain is computed on
+// demand at recovery time. The paper's incremental "do nothing if descendant"
+// rule is an optimization of exactly this computation and is validated
+// against it in tests.
+package checkpoint
+
+import (
+	"sort"
+
+	"repro/internal/proto"
+	"repro/internal/stamp"
+)
+
+// Entry is one retained checkpoint.
+type Entry struct {
+	Packet *proto.TaskPacket
+	// Dest is the processor the task settled on, or -2 while placement is
+	// unacknowledged (in-flight, Figure 6 states b/d).
+	Dest proto.ProcID
+}
+
+// PendingDest marks checkpoints whose placement is not yet acknowledged.
+const PendingDest proto.ProcID = -2
+
+// Store is one processor's checkpoint table. It is not safe for concurrent
+// use; in the discrete-event machine each processor is single-threaded.
+type Store struct {
+	entries map[proto.TaskKey]*Entry
+	// bytes tracks current retained storage; peak is the high-water mark
+	// reported to metrics.
+	bytes int64
+	peak  int64
+}
+
+// NewStore creates an empty checkpoint store.
+func NewStore() *Store {
+	return &Store{entries: make(map[proto.TaskKey]*Entry)}
+}
+
+// Retain records the functional checkpoint of a freshly spawned packet.
+// Placement is initially pending; Settle moves it to a destination entry.
+// Retaining an already-present key replaces the entry (a reissued packet
+// supersedes the original).
+func (s *Store) Retain(pkt *proto.TaskPacket) {
+	if old, ok := s.entries[pkt.Key]; ok {
+		s.bytes -= int64(old.Packet.EncodedSize())
+	}
+	s.entries[pkt.Key] = &Entry{Packet: pkt, Dest: PendingDest}
+	s.bytes += int64(pkt.EncodedSize())
+	if s.bytes > s.peak {
+		s.peak = s.bytes
+	}
+}
+
+// Settle records that the checkpointed task settled on dest (placement ack
+// received; Figure 6 state c/e).
+func (s *Store) Settle(key proto.TaskKey, dest proto.ProcID) bool {
+	e, ok := s.entries[key]
+	if !ok {
+		return false
+	}
+	e.Dest = dest
+	return true
+}
+
+// Release drops the checkpoint after the child's result arrived ("Return
+// packets from a child task normally eliminate the children that are no
+// longer needed" — §4). It reports whether the key was present.
+func (s *Store) Release(key proto.TaskKey) bool {
+	e, ok := s.entries[key]
+	if !ok {
+		return false
+	}
+	s.bytes -= int64(e.Packet.EncodedSize())
+	delete(s.entries, key)
+	return true
+}
+
+// Get returns the retained packet for key, if present.
+func (s *Store) Get(key proto.TaskKey) (*proto.TaskPacket, bool) {
+	e, ok := s.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return e.Packet, true
+}
+
+// Dest returns the settled destination for key (PendingDest if in flight).
+func (s *Store) Dest(key proto.TaskKey) (proto.ProcID, bool) {
+	e, ok := s.entries[key]
+	if !ok {
+		return 0, false
+	}
+	return e.Dest, true
+}
+
+// Len returns the number of retained checkpoints.
+func (s *Store) Len() int { return len(s.entries) }
+
+// Bytes returns the current retained storage in bytes.
+func (s *Store) Bytes() int64 { return s.bytes }
+
+// PeakBytes returns the high-water retained storage in bytes.
+func (s *Store) PeakBytes() int64 { return s.peak }
+
+// For returns all retained checkpoints settled on dest, sorted in stamp
+// preorder (deterministic recovery order).
+func (s *Store) For(dest proto.ProcID) []*Entry {
+	var out []*Entry
+	for _, e := range s.entries {
+		if e.Dest == dest {
+			out = append(out, e)
+		}
+	}
+	sortEntries(out)
+	return out
+}
+
+// TopmostFor computes the §3.2 recovery set for a failed destination: the
+// entries settled on dest whose stamps form the minimal covering antichain.
+// Shadowed (descendant) entries are returned separately so recovery can
+// count the paper's "not fruitful" suppressions (the B5 case).
+func (s *Store) TopmostFor(dest proto.ProcID) (topmost, shadowed []*Entry) {
+	all := s.For(dest)
+	if len(all) == 0 {
+		return nil, nil
+	}
+	stamps := make([]stamp.Stamp, len(all))
+	for i, e := range all {
+		stamps[i] = e.Packet.Key.Stamp
+	}
+	top := stamp.Topmost(stamps)
+	topSet := make(map[stamp.Stamp]bool, len(top))
+	for _, t := range top {
+		topSet[t] = true
+	}
+	for _, e := range all {
+		// A replica of a topmost stamp is itself topmost: replicas are
+		// independent lineages and each must be reissued.
+		if topSet[e.Packet.Key.Stamp] {
+			topmost = append(topmost, e)
+		} else {
+			shadowed = append(shadowed, e)
+		}
+	}
+	return topmost, shadowed
+}
+
+// Keys returns all retained keys in preorder, for deterministic iteration.
+func (s *Store) Keys() []proto.TaskKey {
+	out := make([]proto.TaskKey, 0, len(s.entries))
+	for k := range s.entries {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Stamp.Compare(out[j].Stamp); c != 0 {
+			return c < 0
+		}
+		return out[i].Rep < out[j].Rep
+	})
+	return out
+}
+
+func sortEntries(es []*Entry) {
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i].Packet.Key, es[j].Packet.Key
+		if c := a.Stamp.Compare(b.Stamp); c != 0 {
+			return c < 0
+		}
+		return a.Rep < b.Rep
+	})
+}

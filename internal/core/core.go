@@ -1,0 +1,234 @@
+// Package core is the public façade of the library: one Config describing a
+// machine, a workload, a recovery scheme and a fault plan; one Run call; one
+// Report back. It wires together the substrates (topology, placement,
+// detection, checkpointing) with the paper's recovery schemes so that
+// examples, the CLI, and the benchmark harness all drive the system the
+// same way.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/balance"
+	"repro/internal/expr"
+	"repro/internal/faults"
+	"repro/internal/lang"
+	"repro/internal/machine"
+	"repro/internal/proto"
+	"repro/internal/recovery"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Re-exported handles so callers need only import core for common setups.
+type (
+	// Report is the outcome of a run.
+	Report = machine.Report
+	// FaultPlan schedules processor faults.
+	FaultPlan = faults.Plan
+	// Fault is one scheduled fault.
+	Fault = faults.Fault
+	// Program is a validated applicative program.
+	Program = lang.Program
+	// Value is an applicative value.
+	Value = expr.Value
+)
+
+// Fault kinds, re-exported.
+const (
+	CrashAnnounced = faults.CrashAnnounced
+	CrashSilent    = faults.CrashSilent
+	Corrupt        = faults.Corrupt
+)
+
+// Config describes a complete experiment setup in plain values; Build turns
+// it into a runnable machine.
+type Config struct {
+	// Procs is the number of processors (default 8).
+	Procs int
+	// Topology is "mesh", "ring", "hypercube", "complete" or "star"
+	// (default "mesh").
+	Topology string
+	// Placement is "random", "gradient", "static" or "local"
+	// (default "random").
+	Placement string
+	// Recovery is "none", "rollback", "rollback-lazy" or "splice"
+	// (default "none").
+	Recovery string
+	// AncestorDepth is the §5.2 ancestor-pointer depth K (default 2).
+	AncestorDepth int
+	// Replication maps function names to §5.3 replica counts.
+	Replication map[string]int
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// DisableCheckpoints turns functional checkpointing off entirely.
+	DisableCheckpoints bool
+	// Trace enables event logging when true.
+	Trace bool
+	// Deadline overrides the virtual-time budget (0 = default).
+	Deadline int64
+	// Raw exposes every low-level machine knob; fields set there win over
+	// the convenience fields above.
+	Raw *machine.Config
+}
+
+// Workload names a program and its invocation.
+type Workload struct {
+	Program *lang.Program
+	Fn      string
+	Args    []expr.Value
+}
+
+// StandardWorkload builds one of the bundled programs by name:
+//
+//	fib:N  tak:X,Y,Z  nqueens:N  sumrange:N  msort:N  tree:FANOUT,DEPTH  binom:N,K
+func StandardWorkload(spec string) (Workload, error) {
+	var a, b, c int64
+	n, err := fmt.Sscanf(spec, "fib:%d", &a)
+	if n == 1 && err == nil {
+		return Workload{lang.Fib(), "fib", []expr.Value{expr.VInt(a)}}, nil
+	}
+	if n, err = fmt.Sscanf(spec, "tak:%d,%d,%d", &a, &b, &c); n == 3 && err == nil {
+		return Workload{lang.Tak(), "tak", []expr.Value{expr.VInt(a), expr.VInt(b), expr.VInt(c)}}, nil
+	}
+	if n, err = fmt.Sscanf(spec, "nqueens:%d", &a); n == 1 && err == nil {
+		return Workload{lang.NQueens(), "nqueens", []expr.Value{expr.VInt(a)}}, nil
+	}
+	if n, err = fmt.Sscanf(spec, "sumrange:%d", &a); n == 1 && err == nil {
+		return Workload{lang.SumRange(16), "sumrange", []expr.Value{expr.VInt(0), expr.VInt(a)}}, nil
+	}
+	if n, err = fmt.Sscanf(spec, "msort:%d", &a); n == 1 && err == nil {
+		xs := make([]int64, a)
+		for i := range xs {
+			xs[i] = (int64(i)*7919 + 13) % 1000
+		}
+		return Workload{lang.MergeSort(), "msort", []expr.Value{expr.IntList(xs...)}}, nil
+	}
+	if n, err = fmt.Sscanf(spec, "tree:%d,%d", &a, &b); n == 2 && err == nil {
+		return Workload{lang.TreeSum(int(a)), "tree", []expr.Value{expr.VInt(b)}}, nil
+	}
+	if n, err = fmt.Sscanf(spec, "binom:%d,%d", &a, &b); n == 2 && err == nil {
+		return Workload{lang.Binomial(), "binom", []expr.Value{expr.VInt(a), expr.VInt(b)}}, nil
+	}
+	return Workload{}, fmt.Errorf("core: unknown workload spec %q", spec)
+}
+
+// Build materializes the machine for the config.
+func (c Config) Build(prog *lang.Program) (*machine.Machine, error) {
+	if prog == nil {
+		return nil, errors.New("core: program required")
+	}
+	mc := machine.Config{}
+	if c.Raw != nil {
+		mc = *c.Raw
+	}
+	if mc.Topo == nil {
+		procs := c.Procs
+		if procs == 0 {
+			procs = 8
+		}
+		kind := c.Topology
+		if kind == "" {
+			kind = "mesh"
+		}
+		topo, err := topology.ByName(kind, procs)
+		if err != nil {
+			return nil, err
+		}
+		mc.Topo = topo
+	}
+	if mc.Placement == nil {
+		name := c.Placement
+		if name == "" {
+			name = "random"
+		}
+		pol, err := balance.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		mc.Placement = pol
+	}
+	if mc.Scheme == nil {
+		name := c.Recovery
+		if name == "" {
+			name = "none"
+		}
+		sch, err := recovery.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		mc.Scheme = sch
+	}
+	if mc.AncestorDepth == 0 {
+		mc.AncestorDepth = c.AncestorDepth
+	}
+	if mc.Replication == nil {
+		mc.Replication = c.Replication
+	}
+	if mc.Seed == 0 {
+		mc.Seed = c.Seed
+		if mc.Seed == 0 {
+			mc.Seed = 1
+		}
+	}
+	if c.DisableCheckpoints {
+		mc.DisableCheckpoints = true
+	}
+	if mc.Trace == nil && c.Trace {
+		mc.Trace = trace.NewLog(0)
+	}
+	if mc.Deadline == 0 && c.Deadline > 0 {
+		mc.Deadline = sim.Time(c.Deadline)
+	}
+	return machine.New(mc, prog)
+}
+
+// Run builds the machine and evaluates the workload under the fault plan.
+func (c Config) Run(w Workload, plan *faults.Plan) (*Report, error) {
+	m, err := c.Build(w.Program)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(w.Fn, w.Args, plan)
+}
+
+// RunSpec is the one-line entry point: workload spec + config + plan.
+func RunSpec(spec string, c Config, plan *faults.Plan) (*Report, error) {
+	w, err := StandardWorkload(spec)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(w, plan)
+}
+
+// Verify runs the workload and checks the answer against the sequential
+// reference evaluator, returning the report and a nil error only when the
+// distributed run agreed with the reference (the determinacy guarantee of
+// §2.1).
+func (c Config) Verify(w Workload, plan *faults.Plan) (*Report, error) {
+	rep, err := c.Run(w, plan)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Err != nil {
+		return rep, rep.Err
+	}
+	if !rep.Completed {
+		return rep, fmt.Errorf("core: run did not complete (makespan %d)", rep.Makespan)
+	}
+	want, err := lang.RefEval(w.Program, w.Fn, w.Args)
+	if err != nil {
+		return rep, err
+	}
+	if !rep.Answer.Equal(want) {
+		return rep, fmt.Errorf("core: answer %v != reference %v", rep.Answer, want)
+	}
+	return rep, nil
+}
+
+// CrashPlan is a convenience for single-crash plans.
+func CrashPlan(proc int, at int64, announced bool) *faults.Plan {
+	return faults.Crash(proto.ProcID(proc), at, announced)
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/machine"
+)
+
+func TestStandardWorkloads(t *testing.T) {
+	cases := []struct {
+		spec string
+		fn   string
+	}{
+		{"fib:10", "fib"},
+		{"tak:6,3,1", "tak"},
+		{"nqueens:4", "nqueens"},
+		{"sumrange:64", "sumrange"},
+		{"msort:8", "msort"},
+		{"tree:2,4", "tree"},
+		{"binom:8,3", "binom"},
+	}
+	for _, tc := range cases {
+		w, err := StandardWorkload(tc.spec)
+		if err != nil {
+			t.Errorf("%s: %v", tc.spec, err)
+			continue
+		}
+		if w.Fn != tc.fn {
+			t.Errorf("%s: fn = %q", tc.spec, w.Fn)
+		}
+		if w.Program == nil {
+			t.Errorf("%s: nil program", tc.spec)
+		}
+	}
+	if _, err := StandardWorkload("nosuch:1"); err == nil {
+		t.Error("unknown spec accepted")
+	}
+	if _, err := StandardWorkload("fib:x"); err == nil {
+		t.Error("malformed spec accepted")
+	}
+}
+
+func TestDefaultsRunFaultFree(t *testing.T) {
+	w, err := StandardWorkload("fib:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Config{}.Verify(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Procs != 8 || rep.Scheme != "none" || rep.Placement != "random" {
+		t.Fatalf("defaults wrong: procs=%d scheme=%s placement=%s", rep.Procs, rep.Scheme, rep.Placement)
+	}
+}
+
+func TestConfigVariants(t *testing.T) {
+	w, err := StandardWorkload("tree:3,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{Procs: 4, Topology: "ring", Placement: "gradient", Recovery: "rollback"},
+		{Procs: 16, Topology: "hypercube", Placement: "static", Recovery: "splice"},
+		{Procs: 6, Topology: "star", Placement: "local", Recovery: "rollback-lazy"},
+	} {
+		if _, err := cfg.Verify(w, nil); err != nil {
+			t.Errorf("%+v: %v", cfg, err)
+		}
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	w, _ := StandardWorkload("fib:5")
+	if _, err := (Config{Topology: "nosuch"}).Run(w, nil); err == nil {
+		t.Error("bad topology accepted")
+	}
+	if _, err := (Config{Placement: "nosuch"}).Run(w, nil); err == nil {
+		t.Error("bad placement accepted")
+	}
+	if _, err := (Config{Recovery: "nosuch"}).Run(w, nil); err == nil {
+		t.Error("bad recovery accepted")
+	}
+	if _, err := (Config{}).Build(nil); err == nil {
+		t.Error("nil program accepted")
+	}
+}
+
+func TestVerifyDetectsFailure(t *testing.T) {
+	w, _ := StandardWorkload("fib:10")
+	// A crash with no recovery: Verify must report non-completion.
+	cfg := Config{Recovery: "none", Deadline: 50_000, Seed: 2}
+	_, err := cfg.Verify(w, CrashPlan(1, 400, true))
+	if err == nil || !strings.Contains(err.Error(), "did not complete") {
+		t.Fatalf("Verify error = %v, want non-completion", err)
+	}
+}
+
+func TestVerifyWithRecovery(t *testing.T) {
+	w, _ := StandardWorkload("fib:11")
+	for _, scheme := range []string{"rollback", "splice"} {
+		cfg := Config{Recovery: scheme, Seed: 4, Trace: true}
+		rep, err := cfg.Verify(w, CrashPlan(2, 700, false))
+		if err != nil {
+			t.Errorf("%s: %v", scheme, err)
+			continue
+		}
+		if rep.Log == nil {
+			t.Errorf("%s: trace requested but nil", scheme)
+		}
+	}
+}
+
+func TestRunSpec(t *testing.T) {
+	rep, err := RunSpec("fib:8", Config{Seed: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed || !rep.Answer.Equal(expr.VInt(21)) {
+		t.Fatalf("answer = %v", rep.Answer)
+	}
+	if _, err := RunSpec("bogus", Config{}, nil); err == nil {
+		t.Error("bogus spec accepted")
+	}
+}
+
+func TestRawOverrides(t *testing.T) {
+	w, _ := StandardWorkload("fib:8")
+	cfg := Config{Raw: &machine.Config{StateProbeEvery: 25}}
+	rep, err := cfg.Verify(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.StateSamples) == 0 {
+		t.Fatal("raw override did not take effect")
+	}
+}

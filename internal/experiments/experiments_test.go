@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarkdownRendering(t *testing.T) {
+	tb := &Table{
+		ID: "TX", Title: "Sample", Claim: "claim text",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}, {"3", "4"}},
+		Finding: "finding text",
+	}
+	md := tb.Markdown()
+	for _, want := range []string{"### TX", "claim text", "| a | b |", "| 3 | 4 |", "finding text"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestT1OverheadRuns(t *testing.T) {
+	tb, err := T1Overhead("fib:10", 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (noft, 2 schemes, 2 PGC intervals)", len(tb.Rows))
+	}
+	// Functional checkpointing overhead must be well below the long-interval
+	// PGC stop-the-world variant in wire bytes per checkpoint... at minimum
+	// the rows must be filled in.
+	for _, r := range tb.Rows {
+		if len(r) != len(tb.Columns) {
+			t.Fatalf("ragged row %v", r)
+		}
+	}
+}
+
+func TestT5ReplicationShape(t *testing.T) {
+	tb, err := T5Replication(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// R=1 wrong, R=3 and R=5 correct — the §5.3 claim.
+	if tb.Rows[0][1] != "false" {
+		t.Errorf("R=1 should produce a wrong answer, got %q", tb.Rows[0][1])
+	}
+	for _, i := range []int{1, 2} {
+		if tb.Rows[i][1] != "true" {
+			t.Errorf("replicated row %d not correct: %v", i, tb.Rows[i])
+		}
+	}
+}
+
+func TestT2FaultSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	tb, err := T2FaultSweep("tree:3,5", 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(tb.Rows))
+	}
+	// Every run must have completed (slowdown filled in).
+	for _, r := range tb.Rows {
+		if r[3] == "—" {
+			t.Errorf("run did not complete: %v", r)
+		}
+	}
+}
+
+func TestA4SuppressionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tb, err := A4TopmostSuppression(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}

@@ -1,0 +1,323 @@
+package expr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The wire codec serializes values and expressions into a compact binary
+// form. The simulated machine never actually moves bytes between address
+// spaces — values are immutable and shared — but the codec gives honest
+// per-message and per-checkpoint byte counts for the cost model, and it is
+// exercised round-trip in tests to prove task packets really are
+// self-contained (a requirement for functional checkpoints: §2.1 "The packet
+// contains all necessary information ... to activate the child task").
+
+// Value tags.
+const (
+	tagInt byte = iota + 1
+	tagBool
+	tagStr
+	tagUnit
+	tagList
+)
+
+// Expression tags (disjoint from value tags for defensive decoding).
+const (
+	tagLit byte = iota + 32
+	tagVar
+	tagPrim
+	tagIf
+	tagLet
+	tagApply
+	tagHole
+)
+
+// ErrCodec is wrapped by all decoding errors.
+var ErrCodec = errors.New("expr: codec")
+
+// AppendValue appends the wire form of v to buf and returns the extended
+// buffer.
+func AppendValue(buf []byte, v Value) []byte {
+	switch x := v.(type) {
+	case VInt:
+		buf = append(buf, tagInt)
+		return binary.BigEndian.AppendUint64(buf, uint64(x))
+	case VBool:
+		b := byte(0)
+		if x {
+			b = 1
+		}
+		return append(buf, tagBool, b)
+	case VStr:
+		buf = append(buf, tagStr)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(x)))
+		return append(buf, x...)
+	case VUnit:
+		return append(buf, tagUnit)
+	case VList:
+		buf = append(buf, tagList)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(x.Len()))
+		for c := x.Cell; c != nil; c = c.Tail.Cell {
+			buf = AppendValue(buf, c.Head)
+		}
+		return buf
+	default:
+		panic(fmt.Sprintf("expr: cannot encode value %T", v))
+	}
+}
+
+// EncodeValue returns the wire form of v.
+func EncodeValue(v Value) []byte { return AppendValue(nil, v) }
+
+// DecodeValue decodes one value from buf, returning it and the remaining
+// bytes.
+func DecodeValue(buf []byte) (Value, []byte, error) {
+	if len(buf) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty buffer", ErrCodec)
+	}
+	tag, rest := buf[0], buf[1:]
+	switch tag {
+	case tagInt:
+		if len(rest) < 8 {
+			return nil, nil, fmt.Errorf("%w: short int", ErrCodec)
+		}
+		return VInt(binary.BigEndian.Uint64(rest)), rest[8:], nil
+	case tagBool:
+		if len(rest) < 1 {
+			return nil, nil, fmt.Errorf("%w: short bool", ErrCodec)
+		}
+		return VBool(rest[0] != 0), rest[1:], nil
+	case tagStr:
+		if len(rest) < 4 {
+			return nil, nil, fmt.Errorf("%w: short str header", ErrCodec)
+		}
+		n := int(binary.BigEndian.Uint32(rest))
+		rest = rest[4:]
+		if len(rest) < n {
+			return nil, nil, fmt.Errorf("%w: short str body", ErrCodec)
+		}
+		return VStr(rest[:n]), rest[n:], nil
+	case tagUnit:
+		return VUnit{}, rest, nil
+	case tagList:
+		if len(rest) < 4 {
+			return nil, nil, fmt.Errorf("%w: short list header", ErrCodec)
+		}
+		n := int(binary.BigEndian.Uint32(rest))
+		rest = rest[4:]
+		elems := make([]Value, 0, n)
+		for i := 0; i < n; i++ {
+			var v Value
+			var err error
+			v, rest, err = DecodeValue(rest)
+			if err != nil {
+				return nil, nil, err
+			}
+			elems = append(elems, v)
+		}
+		return ListOf(elems...), rest, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown value tag %d", ErrCodec, tag)
+	}
+}
+
+// AppendExpr appends the wire form of e to buf.
+func AppendExpr(buf []byte, e Expr) []byte {
+	switch n := e.(type) {
+	case Lit:
+		buf = append(buf, tagLit)
+		return AppendValue(buf, n.V)
+	case Var:
+		buf = append(buf, tagVar)
+		return appendString(buf, n.Name)
+	case Prim:
+		buf = append(buf, tagPrim)
+		buf = appendString(buf, n.Op)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(n.Args)))
+		for _, a := range n.Args {
+			buf = AppendExpr(buf, a)
+		}
+		return buf
+	case If:
+		buf = append(buf, tagIf)
+		buf = AppendExpr(buf, n.Cond)
+		buf = AppendExpr(buf, n.Then)
+		return AppendExpr(buf, n.Else)
+	case Let:
+		buf = append(buf, tagLet)
+		buf = appendString(buf, n.Name)
+		buf = AppendExpr(buf, n.Bind)
+		return AppendExpr(buf, n.Body)
+	case Apply:
+		buf = append(buf, tagApply)
+		buf = appendString(buf, n.Fn)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(n.Args)))
+		for _, a := range n.Args {
+			buf = AppendExpr(buf, a)
+		}
+		return buf
+	case Hole:
+		buf = append(buf, tagHole)
+		return binary.BigEndian.AppendUint32(buf, uint32(n.ID))
+	default:
+		panic(fmt.Sprintf("expr: cannot encode expression %T", e))
+	}
+}
+
+// EncodeExpr returns the wire form of e.
+func EncodeExpr(e Expr) []byte { return AppendExpr(nil, e) }
+
+// DecodeExpr decodes one expression from buf, returning it and the
+// remaining bytes.
+func DecodeExpr(buf []byte) (Expr, []byte, error) {
+	if len(buf) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty buffer", ErrCodec)
+	}
+	tag, rest := buf[0], buf[1:]
+	switch tag {
+	case tagLit:
+		v, rest, err := DecodeValue(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return Lit{v}, rest, nil
+	case tagVar:
+		s, rest, err := decodeString(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return Var{s}, rest, nil
+	case tagPrim:
+		op, rest, err := decodeString(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		args, rest, err := decodeExprSlice(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return Prim{Op: op, Args: args}, rest, nil
+	case tagIf:
+		c, rest, err := DecodeExpr(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		t, rest, err := DecodeExpr(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, rest, err := DecodeExpr(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return If{Cond: c, Then: t, Else: f}, rest, nil
+	case tagLet:
+		name, rest, err := decodeString(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		bind, rest, err := DecodeExpr(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		body, rest, err := DecodeExpr(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return Let{Name: name, Bind: bind, Body: body}, rest, nil
+	case tagApply:
+		fn, rest, err := decodeString(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		args, rest, err := decodeExprSlice(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return Apply{Fn: fn, Args: args}, rest, nil
+	case tagHole:
+		if len(rest) < 4 {
+			return nil, nil, fmt.Errorf("%w: short hole", ErrCodec)
+		}
+		return Hole{ID: int(binary.BigEndian.Uint32(rest))}, rest[4:], nil
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown expr tag %d", ErrCodec, tag)
+	}
+}
+
+// EncodeValues encodes a value slice with a count prefix.
+func EncodeValues(vals []Value) []byte {
+	buf := binary.BigEndian.AppendUint32(nil, uint32(len(vals)))
+	for _, v := range vals {
+		buf = AppendValue(buf, v)
+	}
+	return buf
+}
+
+// DecodeValues inverts EncodeValues.
+func DecodeValues(buf []byte) ([]Value, []byte, error) {
+	if len(buf) < 4 {
+		return nil, nil, fmt.Errorf("%w: short values header", ErrCodec)
+	}
+	n := int(binary.BigEndian.Uint32(buf))
+	rest := buf[4:]
+	out := make([]Value, 0, n)
+	for i := 0; i < n; i++ {
+		var v Value
+		var err error
+		v, rest, err = DecodeValue(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, v)
+	}
+	return out, rest, nil
+}
+
+// ValuesEncodedSize returns the wire size of a value slice without
+// materializing the encoding.
+func ValuesEncodedSize(vals []Value) int {
+	n := 4
+	for _, v := range vals {
+		n += v.EncodedSize()
+	}
+	return n
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+func decodeString(buf []byte) (string, []byte, error) {
+	if len(buf) < 4 {
+		return "", nil, fmt.Errorf("%w: short string header", ErrCodec)
+	}
+	n := int(binary.BigEndian.Uint32(buf))
+	buf = buf[4:]
+	if len(buf) < n {
+		return "", nil, fmt.Errorf("%w: short string body", ErrCodec)
+	}
+	return string(buf[:n]), buf[n:], nil
+}
+
+func decodeExprSlice(buf []byte) ([]Expr, []byte, error) {
+	if len(buf) < 4 {
+		return nil, nil, fmt.Errorf("%w: short expr slice header", ErrCodec)
+	}
+	n := int(binary.BigEndian.Uint32(buf))
+	rest := buf[4:]
+	out := make([]Expr, 0, n)
+	for i := 0; i < n; i++ {
+		var e Expr
+		var err error
+		e, rest, err = DecodeExpr(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, e)
+	}
+	return out, rest, nil
+}

@@ -1,0 +1,117 @@
+// Package faults describes fault plans for the simulated machine. The paper
+// assumes fail-silent processors (§1): a faulty node either voluntarily
+// declares itself faulty (announced crash) or keeps silent and is identified
+// by other processors via timeouts (silent crash). For the §5.3 replicated-
+// task experiments a node may also corrupt computed values ("a faulty node
+// may answer an inquiry with an invalid message") while otherwise behaving.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/proto"
+)
+
+// Kind is the failure mode of one fault.
+type Kind int
+
+// Fault kinds.
+const (
+	// CrashAnnounced: the node halts and floods a fault announcement first
+	// ("A faulty processor must voluntarily declare itself faulty" — §1).
+	CrashAnnounced Kind = iota
+	// CrashSilent: the node simply stops transmitting valid messages;
+	// peers must detect it by heartbeat/ack timeout.
+	CrashSilent
+	// Corrupt: the node keeps running but perturbs every result value it
+	// produces from the fault time on. Only majority voting (§5.3) can
+	// mask it; the crash-recovery schemes are not designed for it.
+	Corrupt
+)
+
+func (k Kind) String() string {
+	switch k {
+	case CrashAnnounced:
+		return "crash-announced"
+	case CrashSilent:
+		return "crash-silent"
+	case Corrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled processor fault.
+type Fault struct {
+	At   int64 // virtual time
+	Proc proto.ProcID
+	Kind Kind
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("%v@t=%d:%v", f.Proc, f.At, f.Kind)
+}
+
+// Plan is a set of faults to inject during a run.
+type Plan struct {
+	Faults []Fault
+}
+
+// None returns an empty plan.
+func None() *Plan { return &Plan{} }
+
+// Crash returns a plan with a single crash of proc at time t.
+func Crash(proc proto.ProcID, t int64, announced bool) *Plan {
+	k := CrashSilent
+	if announced {
+		k = CrashAnnounced
+	}
+	return &Plan{Faults: []Fault{{At: t, Proc: proc, Kind: k}}}
+}
+
+// Add appends a fault and returns the plan for chaining.
+func (p *Plan) Add(f Fault) *Plan {
+	p.Faults = append(p.Faults, f)
+	return p
+}
+
+// Sorted returns the faults ordered by time (then processor) for
+// deterministic injection.
+func (p *Plan) Sorted() []Fault {
+	out := append([]Fault(nil), p.Faults...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Proc < out[j].Proc
+	})
+	return out
+}
+
+// Validate rejects plans that fault the host pseudo-processor or a
+// processor index outside [0, n).
+func (p *Plan) Validate(n int) error {
+	for _, f := range p.Faults {
+		if f.Proc < 0 || int(f.Proc) >= n {
+			return fmt.Errorf("faults: processor %d out of range [0,%d)", f.Proc, n)
+		}
+		if f.At < 0 {
+			return fmt.Errorf("faults: negative fault time %d", f.At)
+		}
+	}
+	return nil
+}
+
+// CrashCount returns how many crash faults (announced or silent) the plan
+// contains.
+func (p *Plan) CrashCount() int {
+	n := 0
+	for _, f := range p.Faults {
+		if f.Kind != Corrupt {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,221 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+func evalSrc(t *testing.T, src, fn string, args ...expr.Value) expr.Value {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	v, err := RefEval(p, fn, args)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	return v
+}
+
+func TestParseFib(t *testing.T) {
+	src := `
+		# the canonical example
+		fn fib(n) = if n < 2 then n else fib(n-1) + fib(n-2)
+	`
+	v := evalSrc(t, src, "fib", expr.VInt(10))
+	if !v.Equal(expr.VInt(55)) {
+		t.Fatalf("fib(10) = %v", v)
+	}
+}
+
+func TestParsedMatchesBuiltinPrograms(t *testing.T) {
+	src := `
+		fn fib(n) = if n < 2 then n else fib(n-1) + fib(n-2)
+		fn tak(x, y, z) =
+			if y < x then tak(tak(x-1, y, z), tak(y-1, z, x), tak(z-1, x, y))
+			else z
+	`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := int64(0); n < 12; n++ {
+		got, err := RefEval(p, "fib", []expr.Value{expr.VInt(n)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := RefEval(Fib(), "fib", []expr.Value{expr.VInt(n)})
+		if !got.Equal(want) {
+			t.Fatalf("parsed fib(%d) = %v, builtin %v", n, got, want)
+		}
+	}
+	got, err := RefEval(p, "tak", []expr.Value{expr.VInt(7), expr.VInt(4), expr.VInt(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := RefEval(Tak(), "tak", []expr.Value{expr.VInt(7), expr.VInt(4), expr.VInt(2)})
+	if !got.Equal(want) {
+		t.Fatalf("parsed tak = %v, builtin %v", got, want)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"fn f() = 2 + 3 * 4", 14},
+		{"fn f() = (2 + 3) * 4", 20},
+		{"fn f() = 10 - 3 - 2", 5}, // left associative
+		{"fn f() = 20 / 2 / 5", 2}, // left associative
+		{"fn f() = -3 + 5", 2},     // unary minus
+		{"fn f() = 7 % 4 + 1", 4},  // mul level binds tighter
+		{"fn f() = if 1 < 2 then 1 else 0", 1},
+		{"fn f() = if 1 < 2 && 3 > 4 then 1 else 0", 0},
+		{"fn f() = if 1 == 1 || 3 > 4 then 1 else 0", 1},
+		{"fn f() = let x = 3 in x * x", 9},
+		{"fn f() = let x = 2 in let y = x + 1 in x * y", 6},
+	}
+	for _, tc := range cases {
+		v := evalSrc(t, tc.src, "f")
+		if !v.Equal(expr.VInt(tc.want)) {
+			t.Errorf("%s = %v, want %d", tc.src, v, tc.want)
+		}
+	}
+}
+
+func TestParseLists(t *testing.T) {
+	cases := []struct {
+		src  string
+		want expr.Value
+	}{
+		{"fn f() = [1, 2, 3]", expr.IntList(1, 2, 3)},
+		{"fn f() = []", expr.VList{}},
+		{"fn f() = 0 : [1, 2]", expr.IntList(0, 1, 2)},
+		{"fn f() = 1 : 2 : nil", expr.IntList(1, 2)},
+		{"fn f() = head([7, 8])", expr.VInt(7)},
+		{"fn f() = tail([7, 8])", expr.IntList(8)},
+		{"fn f() = len([1, 2, 3, 4])", expr.VInt(4)},
+		{"fn f() = append([1], [2, 3])", expr.IntList(1, 2, 3)},
+		{"fn f() = if isnil([]) then 1 else 0", expr.VInt(1)},
+	}
+	for _, tc := range cases {
+		v := evalSrc(t, tc.src, "f")
+		if !v.Equal(tc.want) {
+			t.Errorf("%s = %v, want %v", tc.src, v, tc.want)
+		}
+	}
+}
+
+func TestParseBoolAndStrings(t *testing.T) {
+	v := evalSrc(t, `fn f() = if true && !false then "yes" else "no"`, "f")
+	if !v.Equal(expr.VStr("yes")) {
+		t.Fatalf("got %v", v)
+	}
+	v = evalSrc(t, `fn f() = "a\nb"`, "f")
+	if !v.Equal(expr.VStr("a\nb")) {
+		t.Fatalf("escape handling: %v", v)
+	}
+}
+
+func TestParsePrimitivesVsCalls(t *testing.T) {
+	src := `
+		fn double(x) = x * 2
+		fn f() = double(abs(-5)) + min(3, 9) + max(1, 0)
+	`
+	v := evalSrc(t, src, "f")
+	if !v.Equal(expr.VInt(14)) {
+		t.Fatalf("got %v, want 14", v)
+	}
+}
+
+func TestParseMultilineMergeSort(t *testing.T) {
+	src := `
+		// list split-sort-merge, exercising every list primitive
+		fn msort(xs) =
+			if len(xs) <= 1 then xs
+			else let n = len(xs) / 2 in
+				merge(msort(take(n, xs)), msort(drop(n, xs)))
+		fn take(n, xs) = if n <= 0 || isnil(xs) then [] else head(xs) : take(n-1, tail(xs))
+		fn drop(n, xs) = if n <= 0 || isnil(xs) then xs else drop(n-1, tail(xs))
+		fn merge(a, b) =
+			if isnil(a) then b
+			else if isnil(b) then a
+			else if head(a) <= head(b) then head(a) : merge(tail(a), b)
+			else head(b) : merge(a, tail(b))
+	`
+	v := evalSrc(t, src, "msort", expr.IntList(3, 1, 4, 1, 5, 9, 2, 6))
+	if !v.Equal(expr.IntList(1, 1, 2, 3, 4, 5, 6, 9)) {
+		t.Fatalf("msort = %v", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantErr string
+	}{
+		{"", "no function definitions"},
+		{"fib(n) = n", `expected "fn"`},
+		{"fn = 1", "function name"},
+		{"fn f( = 1", "parameter name"},
+		{"fn f() 1", `expected "="`},
+		{"fn f() = if 1 then 2", `expected "else"`},
+		{"fn f() = let x 3 in x", `expected "="`},
+		{"fn f() = let x = 3 x", `expected "in"`},
+		{"fn f() = (1 + 2", `expected ")"`},
+		{"fn f() = [1, 2", `expected`},
+		{"fn f() = @", "unexpected character"},
+		{`fn f() = "abc`, "unterminated string"},
+		{"fn f() = g(1)", "undefined function"}, // validation error
+		{"fn f(x) = y", "unbound variable"},     // validation error
+		{"fn f() = fn", "keyword"},
+		{"fn f(x, x) = x", "duplicate parameter"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("%q: parse succeeded, want error containing %q", tc.src, tc.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%q: error %q does not contain %q", tc.src, err, tc.wantErr)
+		}
+	}
+}
+
+func TestParseRunsOnMachineViaDriver(t *testing.T) {
+	// A parsed program must behave identically through the flatten driver.
+	src := `
+		fn sumto(n) = if n <= 0 then 0 else n + sumto(n - 1)
+		fn main() = sumto(20) + fibp(8)
+		fn fibp(n) = if n < 2 then n else fibp(n-1) + fibp(n-2)
+	`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RefEval(p, "main", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := driveCall(t, p, "main", nil, 0)
+	if !got.Equal(want) {
+		t.Fatalf("driver %v, ref %v", got, want)
+	}
+	if !want.Equal(expr.VInt(210 + 21)) {
+		t.Fatalf("sumto(20)+fibp(8) = %v", want)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("fn f( = broken")
+}

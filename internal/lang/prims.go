@@ -1,0 +1,340 @@
+// Package lang implements the evaluator of the applicative language: a
+// strict, first-order functional language whose function applications are
+// the task-spawn points of the simulated multiprocessor.
+//
+// The central operation is Flatten: reduce an expression as far as possible
+// using only local information, stopping at function applications, which
+// become Demands — the DEMAND_IT points of §4.2 of the paper. A blocked
+// flattening yields a residual expression containing Holes; when result
+// packets fill the holes, flattening resumes. Because the language is
+// determinate (§2.1), re-running a task from its packet always reproduces
+// the same demands with the same hole IDs, which is what makes twin tasks
+// (§4) and reissued checkpoints (§3) interchangeable with the originals.
+package lang
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// ErrEval wraps all evaluation errors (type errors, division by zero,
+// unknown identifiers). Determinate programs either produce a value or fail
+// identically on every re-execution, so evaluation errors are program bugs,
+// not recoverable faults.
+var ErrEval = errors.New("lang: eval")
+
+// PrimFunc computes a strict primitive from fully evaluated arguments.
+type PrimFunc func(args []expr.Value) (expr.Value, error)
+
+// Primitive describes one built-in operator.
+type Primitive struct {
+	Name  string
+	Arity int // -1 means variadic (at least one argument)
+	Fn    PrimFunc
+}
+
+// primitives is the operator table. All primitives are strict in every
+// argument; `if` is the only non-strict form and is handled structurally by
+// Flatten.
+var primitives = map[string]Primitive{
+	"+":      {"+", -1, primAdd},
+	"-":      {"-", 2, primSub},
+	"*":      {"*", -1, primMul},
+	"/":      {"/", 2, primDiv},
+	"%":      {"%", 2, primMod},
+	"neg":    {"neg", 1, primNeg},
+	"abs":    {"abs", 1, primAbs},
+	"min":    {"min", 2, primMin},
+	"max":    {"max", 2, primMax},
+	"<":      {"<", 2, cmp(func(a, b int64) bool { return a < b })},
+	"<=":     {"<=", 2, cmp(func(a, b int64) bool { return a <= b })},
+	">":      {">", 2, cmp(func(a, b int64) bool { return a > b })},
+	">=":     {">=", 2, cmp(func(a, b int64) bool { return a >= b })},
+	"==":     {"==", 2, primEq},
+	"!=":     {"!=", 2, primNe},
+	"and":    {"and", -1, primAnd},
+	"or":     {"or", -1, primOr},
+	"not":    {"not", 1, primNot},
+	"cons":   {"cons", 2, primCons},
+	"head":   {"head", 1, primHead},
+	"tail":   {"tail", 1, primTail},
+	"isnil":  {"isnil", 1, primIsNil},
+	"len":    {"len", 1, primLen},
+	"append": {"append", 2, primAppend},
+	"unit":   {"unit", 0, func([]expr.Value) (expr.Value, error) { return expr.VUnit{}, nil }},
+}
+
+// LookupPrim returns the primitive for op, if any.
+func LookupPrim(op string) (Primitive, bool) {
+	p, ok := primitives[op]
+	return p, ok
+}
+
+func wantInt(op string, v expr.Value) (int64, error) {
+	i, ok := v.(expr.VInt)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s expects int, got %s", ErrEval, op, expr.TypeName(v))
+	}
+	return int64(i), nil
+}
+
+func wantBool(op string, v expr.Value) (bool, error) {
+	b, ok := v.(expr.VBool)
+	if !ok {
+		return false, fmt.Errorf("%w: %s expects bool, got %s", ErrEval, op, expr.TypeName(v))
+	}
+	return bool(b), nil
+}
+
+func wantList(op string, v expr.Value) (expr.VList, error) {
+	l, ok := v.(expr.VList)
+	if !ok {
+		return expr.VList{}, fmt.Errorf("%w: %s expects list, got %s", ErrEval, op, expr.TypeName(v))
+	}
+	return l, nil
+}
+
+func primAdd(args []expr.Value) (expr.Value, error) {
+	var sum int64
+	for _, a := range args {
+		n, err := wantInt("+", a)
+		if err != nil {
+			return nil, err
+		}
+		sum += n
+	}
+	return expr.VInt(sum), nil
+}
+
+func primSub(args []expr.Value) (expr.Value, error) {
+	a, err := wantInt("-", args[0])
+	if err != nil {
+		return nil, err
+	}
+	b, err := wantInt("-", args[1])
+	if err != nil {
+		return nil, err
+	}
+	return expr.VInt(a - b), nil
+}
+
+func primMul(args []expr.Value) (expr.Value, error) {
+	prod := int64(1)
+	for _, a := range args {
+		n, err := wantInt("*", a)
+		if err != nil {
+			return nil, err
+		}
+		prod *= n
+	}
+	return expr.VInt(prod), nil
+}
+
+func primDiv(args []expr.Value) (expr.Value, error) {
+	a, err := wantInt("/", args[0])
+	if err != nil {
+		return nil, err
+	}
+	b, err := wantInt("/", args[1])
+	if err != nil {
+		return nil, err
+	}
+	if b == 0 {
+		return nil, fmt.Errorf("%w: division by zero", ErrEval)
+	}
+	return expr.VInt(a / b), nil
+}
+
+func primMod(args []expr.Value) (expr.Value, error) {
+	a, err := wantInt("%", args[0])
+	if err != nil {
+		return nil, err
+	}
+	b, err := wantInt("%", args[1])
+	if err != nil {
+		return nil, err
+	}
+	if b == 0 {
+		return nil, fmt.Errorf("%w: modulo by zero", ErrEval)
+	}
+	return expr.VInt(a % b), nil
+}
+
+func primNeg(args []expr.Value) (expr.Value, error) {
+	a, err := wantInt("neg", args[0])
+	if err != nil {
+		return nil, err
+	}
+	return expr.VInt(-a), nil
+}
+
+func primAbs(args []expr.Value) (expr.Value, error) {
+	a, err := wantInt("abs", args[0])
+	if err != nil {
+		return nil, err
+	}
+	if a < 0 {
+		a = -a
+	}
+	return expr.VInt(a), nil
+}
+
+func primMin(args []expr.Value) (expr.Value, error) {
+	a, err := wantInt("min", args[0])
+	if err != nil {
+		return nil, err
+	}
+	b, err := wantInt("min", args[1])
+	if err != nil {
+		return nil, err
+	}
+	return expr.VInt(min(a, b)), nil
+}
+
+func primMax(args []expr.Value) (expr.Value, error) {
+	a, err := wantInt("max", args[0])
+	if err != nil {
+		return nil, err
+	}
+	b, err := wantInt("max", args[1])
+	if err != nil {
+		return nil, err
+	}
+	return expr.VInt(max(a, b)), nil
+}
+
+func cmp(f func(a, b int64) bool) PrimFunc {
+	return func(args []expr.Value) (expr.Value, error) {
+		a, err := wantInt("cmp", args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := wantInt("cmp", args[1])
+		if err != nil {
+			return nil, err
+		}
+		return expr.VBool(f(a, b)), nil
+	}
+}
+
+func primEq(args []expr.Value) (expr.Value, error) {
+	return expr.VBool(args[0].Equal(args[1])), nil
+}
+
+func primNe(args []expr.Value) (expr.Value, error) {
+	return expr.VBool(!args[0].Equal(args[1])), nil
+}
+
+func primAnd(args []expr.Value) (expr.Value, error) {
+	for _, a := range args {
+		b, err := wantBool("and", a)
+		if err != nil {
+			return nil, err
+		}
+		if !b {
+			return expr.VBool(false), nil
+		}
+	}
+	return expr.VBool(true), nil
+}
+
+func primOr(args []expr.Value) (expr.Value, error) {
+	for _, a := range args {
+		b, err := wantBool("or", a)
+		if err != nil {
+			return nil, err
+		}
+		if b {
+			return expr.VBool(true), nil
+		}
+	}
+	return expr.VBool(false), nil
+}
+
+func primNot(args []expr.Value) (expr.Value, error) {
+	b, err := wantBool("not", args[0])
+	if err != nil {
+		return nil, err
+	}
+	return expr.VBool(!b), nil
+}
+
+func primCons(args []expr.Value) (expr.Value, error) {
+	l, err := wantList("cons", args[1])
+	if err != nil {
+		return nil, err
+	}
+	return l.Cons(args[0]), nil
+}
+
+func primHead(args []expr.Value) (expr.Value, error) {
+	l, err := wantList("head", args[0])
+	if err != nil {
+		return nil, err
+	}
+	if l.IsEmpty() {
+		return nil, fmt.Errorf("%w: head of empty list", ErrEval)
+	}
+	return l.Cell.Head, nil
+}
+
+func primTail(args []expr.Value) (expr.Value, error) {
+	l, err := wantList("tail", args[0])
+	if err != nil {
+		return nil, err
+	}
+	if l.IsEmpty() {
+		return nil, fmt.Errorf("%w: tail of empty list", ErrEval)
+	}
+	return l.Cell.Tail, nil
+}
+
+func primIsNil(args []expr.Value) (expr.Value, error) {
+	l, err := wantList("isnil", args[0])
+	if err != nil {
+		return nil, err
+	}
+	return expr.VBool(l.IsEmpty()), nil
+}
+
+func primLen(args []expr.Value) (expr.Value, error) {
+	l, err := wantList("len", args[0])
+	if err != nil {
+		return nil, err
+	}
+	return expr.VInt(int64(l.Len())), nil
+}
+
+func primAppend(args []expr.Value) (expr.Value, error) {
+	a, err := wantList("append", args[0])
+	if err != nil {
+		return nil, err
+	}
+	b, err := wantList("append", args[1])
+	if err != nil {
+		return nil, err
+	}
+	elems := a.Elems()
+	out := b
+	for i := len(elems) - 1; i >= 0; i-- {
+		out = out.Cons(elems[i])
+	}
+	return out, nil
+}
+
+// applyPrim checks arity and runs the primitive.
+func applyPrim(op string, args []expr.Value) (expr.Value, error) {
+	p, ok := primitives[op]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown primitive %q", ErrEval, op)
+	}
+	if p.Arity >= 0 && len(args) != p.Arity {
+		return nil, fmt.Errorf("%w: %s expects %d args, got %d", ErrEval, op, p.Arity, len(args))
+	}
+	if p.Arity < 0 && len(args) == 0 {
+		return nil, fmt.Errorf("%w: %s expects at least one arg", ErrEval, op)
+	}
+	return p.Fn(args)
+}

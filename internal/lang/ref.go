@@ -1,0 +1,195 @@
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// RefEval is the reference sequential evaluator: a direct recursive
+// interpreter with an environment. It defines the meaning of programs and
+// serves as the oracle for the distributed machine — determinacy (§2.1)
+// demands the machine produce exactly this value under every schedule,
+// placement, and fault plan.
+func RefEval(prog *Program, fn string, args []expr.Value) (expr.Value, error) {
+	d, ok := prog.Func(fn)
+	if !ok {
+		return nil, fmt.Errorf("%w: undefined function %q", ErrEval, fn)
+	}
+	if len(args) != len(d.Params) {
+		return nil, fmt.Errorf("%w: %q expects %d args, got %d", ErrEval, fn, len(d.Params), len(args))
+	}
+	env := make(map[string]expr.Value, len(d.Params))
+	for i, p := range d.Params {
+		env[p] = args[i]
+	}
+	return refEval(prog, d.Body, env, 0)
+}
+
+// maxRefDepth bounds recursion so a buggy program fails loudly instead of
+// overflowing the goroutine stack.
+const maxRefDepth = 1 << 17
+
+func refEval(prog *Program, e expr.Expr, env map[string]expr.Value, depth int) (expr.Value, error) {
+	if depth > maxRefDepth {
+		return nil, fmt.Errorf("%w: reference evaluator exceeded depth %d", ErrEval, maxRefDepth)
+	}
+	switch n := e.(type) {
+	case expr.Lit:
+		return n.V, nil
+	case expr.Var:
+		v, ok := env[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w: unbound variable %q", ErrEval, n.Name)
+		}
+		return v, nil
+	case expr.Hole:
+		return nil, fmt.Errorf("%w: hole in source program", ErrEval)
+	case expr.Prim:
+		vals := make([]expr.Value, len(n.Args))
+		for i, a := range n.Args {
+			v, err := refEval(prog, a, env, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		return applyPrim(n.Op, vals)
+	case expr.If:
+		c, err := refEval(prog, n.Cond, env, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		b, ok := c.(expr.VBool)
+		if !ok {
+			return nil, fmt.Errorf("%w: if condition is %s, not bool", ErrEval, expr.TypeName(c))
+		}
+		if b {
+			return refEval(prog, n.Then, env, depth+1)
+		}
+		return refEval(prog, n.Else, env, depth+1)
+	case expr.Let:
+		v, err := refEval(prog, n.Bind, env, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		shadowed, had := env[n.Name]
+		env[n.Name] = v
+		out, err := refEval(prog, n.Body, env, depth+1)
+		if had {
+			env[n.Name] = shadowed
+		} else {
+			delete(env, n.Name)
+		}
+		return out, err
+	case expr.Apply:
+		vals := make([]expr.Value, len(n.Args))
+		for i, a := range n.Args {
+			v, err := refEval(prog, a, env, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		d, ok := prog.Func(n.Fn)
+		if !ok {
+			return nil, fmt.Errorf("%w: undefined function %q", ErrEval, n.Fn)
+		}
+		callEnv := make(map[string]expr.Value, len(d.Params))
+		for i, p := range d.Params {
+			callEnv[p] = vals[i]
+		}
+		return refEval(prog, d.Body, callEnv, depth+1)
+	default:
+		return nil, fmt.Errorf("%w: unknown node %T", ErrEval, e)
+	}
+}
+
+// CountCalls returns the number of function applications the reference
+// evaluation of fn(args) performs, including the root call. It sizes the
+// call tree that the distributed machine will unfold, which tests and
+// benchmarks use to reason about expected task counts.
+func CountCalls(prog *Program, fn string, args []expr.Value) (int64, error) {
+	var calls int64
+	var eval func(e expr.Expr, env map[string]expr.Value, depth int) (expr.Value, error)
+	eval = func(e expr.Expr, env map[string]expr.Value, depth int) (expr.Value, error) {
+		if depth > maxRefDepth {
+			return nil, fmt.Errorf("%w: depth exceeded", ErrEval)
+		}
+		switch n := e.(type) {
+		case expr.Lit:
+			return n.V, nil
+		case expr.Var:
+			v, ok := env[n.Name]
+			if !ok {
+				return nil, fmt.Errorf("%w: unbound variable %q", ErrEval, n.Name)
+			}
+			return v, nil
+		case expr.Prim:
+			vals := make([]expr.Value, len(n.Args))
+			for i, a := range n.Args {
+				v, err := eval(a, env, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			}
+			return applyPrim(n.Op, vals)
+		case expr.If:
+			c, err := eval(n.Cond, env, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			if c.(expr.VBool) {
+				return eval(n.Then, env, depth+1)
+			}
+			return eval(n.Else, env, depth+1)
+		case expr.Let:
+			v, err := eval(n.Bind, env, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			shadowed, had := env[n.Name]
+			env[n.Name] = v
+			out, err := eval(n.Body, env, depth+1)
+			if had {
+				env[n.Name] = shadowed
+			} else {
+				delete(env, n.Name)
+			}
+			return out, err
+		case expr.Apply:
+			vals := make([]expr.Value, len(n.Args))
+			for i, a := range n.Args {
+				v, err := eval(a, env, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			}
+			calls++
+			d, ok := prog.Func(n.Fn)
+			if !ok {
+				return nil, fmt.Errorf("%w: undefined %q", ErrEval, n.Fn)
+			}
+			callEnv := make(map[string]expr.Value, len(d.Params))
+			for i, p := range d.Params {
+				callEnv[p] = vals[i]
+			}
+			return eval(d.Body, callEnv, depth+1)
+		default:
+			return nil, fmt.Errorf("%w: unknown node %T", ErrEval, e)
+		}
+	}
+	d, ok := prog.Func(fn)
+	if !ok {
+		return 0, fmt.Errorf("%w: undefined %q", ErrEval, fn)
+	}
+	env := make(map[string]expr.Value, len(d.Params))
+	for i, p := range d.Params {
+		env[p] = args[i]
+	}
+	calls = 1 // the root application itself
+	_, err := eval(d.Body, env, 0)
+	return calls, err
+}

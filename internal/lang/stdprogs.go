@@ -1,0 +1,285 @@
+package lang
+
+import "repro/internal/expr"
+
+// Standard programs. These are the workloads the paper's introduction
+// motivates: divide-and-conquer applicative programs whose evaluation
+// unfolds an implicit call tree across the machine (§1). Each builder
+// returns a validated program plus the conventional entry function name.
+
+// Fib returns the doubly recursive Fibonacci program — the canonical
+// binary call tree.
+//
+//	fib(n) = if n < 2 then n else fib(n-1) + fib(n-2)
+func Fib() *Program {
+	return MustProgram(FuncDef{
+		Name:   "fib",
+		Params: []string{"n"},
+		Body: expr.Cond(
+			expr.Op("<", expr.V("n"), expr.Int(2)),
+			expr.V("n"),
+			expr.Op("+",
+				expr.Call("fib", expr.Op("-", expr.V("n"), expr.Int(1))),
+				expr.Call("fib", expr.Op("-", expr.V("n"), expr.Int(2))),
+			),
+		),
+	})
+}
+
+// Tak returns the Takeuchi function, a deeper and more irregular call tree
+// with nested applications as arguments (exercising multi-wave flattening).
+//
+//	tak(x,y,z) = if y < x then tak(tak(x-1,y,z), tak(y-1,z,x), tak(z-1,x,y)) else z
+func Tak() *Program {
+	return MustProgram(FuncDef{
+		Name:   "tak",
+		Params: []string{"x", "y", "z"},
+		Body: expr.Cond(
+			expr.Op("<", expr.V("y"), expr.V("x")),
+			expr.Call("tak",
+				expr.Call("tak", expr.Op("-", expr.V("x"), expr.Int(1)), expr.V("y"), expr.V("z")),
+				expr.Call("tak", expr.Op("-", expr.V("y"), expr.Int(1)), expr.V("z"), expr.V("x")),
+				expr.Call("tak", expr.Op("-", expr.V("z"), expr.Int(1)), expr.V("x"), expr.V("y")),
+			),
+			expr.V("z"),
+		),
+	})
+}
+
+// SumRange returns a balanced divide-and-conquer range sum: sum of i for
+// lo <= i < hi. Its call tree is a clean balanced binary tree, useful when
+// a predictable shape is wanted.
+//
+//	sumrange(lo,hi) = if hi-lo <= g then serial-sum else
+//	                  sumrange(lo,mid) + sumrange(mid,hi)
+func SumRange(grain int64) *Program {
+	return MustProgram(
+		FuncDef{
+			Name:   "sumrange",
+			Params: []string{"lo", "hi"},
+			Body: expr.Cond(
+				expr.Op("<=", expr.Op("-", expr.V("hi"), expr.V("lo")), expr.Int(grain)),
+				expr.Call("serial", expr.V("lo"), expr.V("hi")),
+				expr.LetIn("mid",
+					expr.Op("/", expr.Op("+", expr.V("lo"), expr.V("hi")), expr.Int(2)),
+					expr.Op("+",
+						expr.Call("sumrange", expr.V("lo"), expr.V("mid")),
+						expr.Call("sumrange", expr.V("mid"), expr.V("hi")),
+					),
+				),
+			),
+		},
+		FuncDef{
+			Name:   "serial",
+			Params: []string{"lo", "hi"},
+			Body: expr.Cond(
+				expr.Op(">=", expr.V("lo"), expr.V("hi")),
+				expr.Int(0),
+				expr.Op("+", expr.V("lo"),
+					expr.Call("serial", expr.Op("+", expr.V("lo"), expr.Int(1)), expr.V("hi"))),
+			),
+		},
+	)
+}
+
+// Binomial returns the Pascal-triangle binomial coefficient, a DAG-shaped
+// recursion evaluated as a tree (shared subproblems are recomputed, which
+// inflates the call tree and stresses checkpoint tables).
+//
+//	binom(n,k) = if k==0 or k==n then 1 else binom(n-1,k-1)+binom(n-1,k)
+func Binomial() *Program {
+	return MustProgram(FuncDef{
+		Name:   "binom",
+		Params: []string{"n", "k"},
+		Body: expr.Cond(
+			expr.Op("or",
+				expr.Op("==", expr.V("k"), expr.Int(0)),
+				expr.Op("==", expr.V("k"), expr.V("n"))),
+			expr.Int(1),
+			expr.Op("+",
+				expr.Call("binom", expr.Op("-", expr.V("n"), expr.Int(1)), expr.Op("-", expr.V("k"), expr.Int(1))),
+				expr.Call("binom", expr.Op("-", expr.V("n"), expr.Int(1)), expr.V("k")),
+			),
+		),
+	})
+}
+
+// NQueens returns the N-queens counting program, a skewed, data-dependent
+// call tree. Boards are lists of column numbers, newest row first.
+//
+// Entry point: nqueens(n) — the number of solutions on an n×n board.
+func NQueens() *Program {
+	return MustProgram(
+		FuncDef{
+			Name:   "nqueens",
+			Params: []string{"n"},
+			Body:   expr.Call("place", expr.V("n"), expr.Int(0), expr.Nil()),
+		},
+		// place(n, row, board): solutions extending board from row.
+		FuncDef{
+			Name:   "place",
+			Params: []string{"n", "row", "board"},
+			Body: expr.Cond(
+				expr.Op("==", expr.V("row"), expr.V("n")),
+				expr.Int(1),
+				expr.Call("trycols", expr.V("n"), expr.V("row"), expr.Int(0), expr.V("board")),
+			),
+		},
+		// trycols(n, row, col, board): sum over columns col..n-1 of the
+		// solutions obtained by putting a queen at (row, col).
+		FuncDef{
+			Name:   "trycols",
+			Params: []string{"n", "row", "col", "board"},
+			Body: expr.Cond(
+				expr.Op("==", expr.V("col"), expr.V("n")),
+				expr.Int(0),
+				expr.Op("+",
+					expr.Cond(
+						expr.Call("safe", expr.V("col"), expr.Int(1), expr.V("board")),
+						expr.Call("place", expr.V("n"),
+							expr.Op("+", expr.V("row"), expr.Int(1)),
+							expr.Op("cons", expr.V("col"), expr.V("board"))),
+						expr.Int(0),
+					),
+					expr.Call("trycols", expr.V("n"), expr.V("row"),
+						expr.Op("+", expr.V("col"), expr.Int(1)), expr.V("board")),
+				),
+			),
+		},
+		// safe(col, dist, board): no queen on board attacks (row, col),
+		// where dist is the row distance to the head of board.
+		FuncDef{
+			Name:   "safe",
+			Params: []string{"col", "dist", "board"},
+			Body: expr.Cond(
+				expr.Op("isnil", expr.V("board")),
+				expr.Bool(true),
+				expr.LetIn("q", expr.Op("head", expr.V("board")),
+					expr.Cond(
+						expr.Op("or",
+							expr.Op("==", expr.V("q"), expr.V("col")),
+							expr.Op("==",
+								expr.Op("abs", expr.Op("-", expr.V("q"), expr.V("col"))),
+								expr.V("dist"))),
+						expr.Bool(false),
+						expr.Call("safe", expr.V("col"),
+							expr.Op("+", expr.V("dist"), expr.Int(1)),
+							expr.Op("tail", expr.V("board"))),
+					),
+				),
+			),
+		},
+	)
+}
+
+// MergeSort returns a list merge sort. Entry point: msort(xs).
+func MergeSort() *Program {
+	return MustProgram(
+		FuncDef{
+			Name:   "msort",
+			Params: []string{"xs"},
+			Body: expr.Cond(
+				expr.Op("<=", expr.Op("len", expr.V("xs")), expr.Int(1)),
+				expr.V("xs"),
+				expr.LetIn("n", expr.Op("/", expr.Op("len", expr.V("xs")), expr.Int(2)),
+					expr.Call("merge",
+						expr.Call("msort", expr.Call("take", expr.V("n"), expr.V("xs"))),
+						expr.Call("msort", expr.Call("drop", expr.V("n"), expr.V("xs"))),
+					),
+				),
+			),
+		},
+		FuncDef{
+			Name:   "take",
+			Params: []string{"n", "xs"},
+			Body: expr.Cond(
+				expr.Op("or", expr.Op("<=", expr.V("n"), expr.Int(0)), expr.Op("isnil", expr.V("xs"))),
+				expr.Nil(),
+				expr.Op("cons", expr.Op("head", expr.V("xs")),
+					expr.Call("take", expr.Op("-", expr.V("n"), expr.Int(1)), expr.Op("tail", expr.V("xs")))),
+			),
+		},
+		FuncDef{
+			Name:   "drop",
+			Params: []string{"n", "xs"},
+			Body: expr.Cond(
+				expr.Op("or", expr.Op("<=", expr.V("n"), expr.Int(0)), expr.Op("isnil", expr.V("xs"))),
+				expr.V("xs"),
+				expr.Call("drop", expr.Op("-", expr.V("n"), expr.Int(1)), expr.Op("tail", expr.V("xs"))),
+			),
+		},
+		FuncDef{
+			Name:   "merge",
+			Params: []string{"a", "b"},
+			Body: expr.Cond(
+				expr.Op("isnil", expr.V("a")),
+				expr.V("b"),
+				expr.Cond(
+					expr.Op("isnil", expr.V("b")),
+					expr.V("a"),
+					expr.Cond(
+						expr.Op("<=", expr.Op("head", expr.V("a")), expr.Op("head", expr.V("b"))),
+						expr.Op("cons", expr.Op("head", expr.V("a")),
+							expr.Call("merge", expr.Op("tail", expr.V("a")), expr.V("b"))),
+						expr.Op("cons", expr.Op("head", expr.V("b")),
+							expr.Call("merge", expr.V("a"), expr.Op("tail", expr.V("b")))),
+					),
+				),
+			),
+		},
+	)
+}
+
+// TreeSum returns a synthetic uniform call tree: every internal node spawns
+// `fanout` children down to the given depth and sums the leaves. With its
+// perfectly regular shape it is the workhorse of the benchmark sweeps.
+//
+//	tree(depth) = if depth == 0 then 1 else Σ tree(depth-1)   (fanout times)
+func TreeSum(fanout int) *Program {
+	children := make([]expr.Expr, fanout)
+	for i := range children {
+		children[i] = expr.Call("tree", expr.Op("-", expr.V("d"), expr.Int(1)))
+	}
+	return MustProgram(FuncDef{
+		Name:   "tree",
+		Params: []string{"d"},
+		Body: expr.Cond(
+			expr.Op("<=", expr.V("d"), expr.Int(0)),
+			expr.Int(1),
+			expr.Op("+", children...),
+		),
+	})
+}
+
+// CriticalSections returns the §5.3 workload: a single coordinator fans out
+// k "critical" work calls in one wave; each work call performs a pure
+// computation of roughly 2×cost reduction steps and returns i+1. Marking
+// "work" with a replication degree makes the machine spawn R copies of each
+// call and majority-vote their answers — the paper's "user may specify
+// certain critical sections of a program for such a highly reliable
+// operation".
+//
+// Entry point: main() = Σ_{i=1..k} work(i).
+func CriticalSections(k, cost int) *Program {
+	pad := func(e expr.Expr) expr.Expr {
+		for i := 0; i < cost; i++ {
+			e = expr.Op("+", expr.Int(0), e)
+		}
+		return e
+	}
+	calls := make([]expr.Expr, k)
+	for i := range calls {
+		calls[i] = expr.Call("work", expr.Int(int64(i+1)))
+	}
+	var body expr.Expr
+	if k == 1 {
+		body = expr.Op("+", expr.Int(0), calls[0])
+	} else {
+		body = expr.Op("+", calls...)
+	}
+	return MustProgram(
+		FuncDef{Name: "main", Body: body},
+		FuncDef{Name: "work", Params: []string{"i"},
+			Body: pad(expr.Op("+", expr.V("i"), expr.Int(1)))},
+	)
+}

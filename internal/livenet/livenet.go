@@ -1,0 +1,429 @@
+// Package livenet runs the applicative machine on real concurrency: one
+// goroutine per node, channels as the interconnect, actual asynchrony
+// instead of the discrete-event kernel's virtual time. It demonstrates that
+// functional checkpointing (§2) needs nothing from the simulator: a parent
+// that retains its children's task packets can regenerate them on any node
+// after a crash, and determinacy (§2.1) makes the regenerated run converge
+// to the same answer despite wildly nondeterministic interleavings.
+//
+// The recovery style is the paper's rollback (§3) in its simplest form:
+// every parent reissues its own lost children (per-parent reissue; the
+// topmost-table optimization of §3.2 is exercised by the deterministic
+// machine in internal/machine and deliberately omitted here). Orphaned
+// work keeps running and its results are drained harmlessly — "Returns from
+// orphan tasks are theoretically harmless" (§3.4).
+package livenet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/lang"
+	"repro/internal/stamp"
+)
+
+// msg is anything a node can receive.
+type msg struct {
+	// spawn: install and run this packet.
+	spawn *packet
+	// result: child's answer for the addressee task's hole.
+	result *resultMsg
+	// nodeDown: the named node died; reissue lost children.
+	nodeDown int
+}
+
+// packet is the live task packet — the functional checkpoint payload.
+type packet struct {
+	stamp      stamp.Stamp
+	fn         string
+	args       []expr.Value
+	parentNode int // -1 = the cluster itself (super-root, §4.3.1)
+	parentTask stamp.Stamp
+	holeID     int
+}
+
+type resultMsg struct {
+	child  stamp.Stamp
+	parent stamp.Stamp
+	holeID int
+	value  expr.Value
+}
+
+// ltask is a resident live task.
+type ltask struct {
+	pkt      *packet
+	residual expr.Expr
+	nextID   int
+	fills    map[int]expr.Value
+	unfilled int
+	// children maps hole id → retained child packet + destination node:
+	// the functional checkpoint (§2.1).
+	children map[int]*childCkpt
+}
+
+type childCkpt struct {
+	pkt    *packet
+	dest   int
+	filled bool
+}
+
+// node is one goroutine-backed processor. Tasks are keyed by stamp, with a
+// list per stamp: after recovery several incarnations of the same logical
+// task (spawned by different parent incarnations) can legitimately coexist,
+// and determinacy makes any result valid for all of them.
+type node struct {
+	id    int
+	c     *Cluster
+	inbox chan msg
+	alive atomic.Bool
+	tasks map[stamp.Stamp][]*ltask
+	rng   *rand.Rand
+	live  []bool // local view of node liveness
+}
+
+// Cluster is a live machine.
+type Cluster struct {
+	prog  *lang.Program
+	nodes []*node
+
+	resultCh chan expr.Value
+	rootPkt  *packet // the super-root's pre-evaluation checkpoint
+	rootDest atomic.Int64
+
+	spawned   atomic.Int64
+	reissued  atomic.Int64
+	drained   atomic.Int64
+	killsSeen atomic.Int64
+
+	// quit, when closed, stops every node goroutine, drainer, and pending
+	// overflow send. Inbox channels are never closed (closing a channel
+	// with concurrent senders is a race).
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a cluster of n goroutine nodes evaluating prog.
+func New(prog *lang.Program, n int, seed int64) (*Cluster, error) {
+	if n < 2 {
+		return nil, errors.New("livenet: need at least 2 nodes")
+	}
+	c := &Cluster{prog: prog, resultCh: make(chan expr.Value, 1), quit: make(chan struct{})}
+	for i := 0; i < n; i++ {
+		nd := &node{
+			id:    i,
+			c:     c,
+			inbox: make(chan msg, 4096),
+			tasks: map[stamp.Stamp][]*ltask{},
+			rng:   rand.New(rand.NewSource(seed + int64(i)*7919)),
+			live:  make([]bool, n),
+		}
+		for j := range nd.live {
+			nd.live[j] = true
+		}
+		nd.alive.Store(true)
+		c.nodes = append(c.nodes, nd)
+	}
+	for _, nd := range c.nodes {
+		c.wg.Add(1)
+		go nd.run()
+	}
+	return c, nil
+}
+
+// Start submits the root application; the cluster retains its packet (the
+// super-root pre-evaluation checkpoint of §4.3.1).
+func (c *Cluster) Start(fn string, args []expr.Value) error {
+	if _, ok := c.prog.Func(fn); !ok {
+		return fmt.Errorf("livenet: unknown function %q", fn)
+	}
+	root := &packet{
+		stamp:      stamp.FromPath(0),
+		fn:         fn,
+		args:       args,
+		parentNode: -1,
+	}
+	c.rootPkt = root
+	dest := 0
+	c.rootDest.Store(int64(dest))
+	c.spawned.Add(1)
+	c.send(dest, msg{spawn: root})
+	return nil
+}
+
+// Kill crashes a node: its goroutine stops processing, resident tasks are
+// lost, and every live node (and the cluster, for the root) reissues the
+// retained packets of children it had placed there.
+func (c *Cluster) Kill(id int) error {
+	if id < 0 || id >= len(c.nodes) {
+		return fmt.Errorf("livenet: no node %d", id)
+	}
+	nd := c.nodes[id]
+	if !nd.alive.CompareAndSwap(true, false) {
+		return fmt.Errorf("livenet: node %d already dead", id)
+	}
+	c.killsSeen.Add(1)
+	// Drain the dead inbox so senders never block; messages into the void
+	// model the paper's fail-silent node.
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			select {
+			case <-nd.inbox:
+				c.drained.Add(1)
+			case <-c.quit:
+				return
+			}
+		}
+	}()
+	// Tell the survivors.
+	for _, other := range c.nodes {
+		if other.alive.Load() {
+			c.send(other.id, msg{nodeDown: id + 1})
+		}
+	}
+	// The cluster is the root's parent: reissue the root if it was there.
+	if c.rootPkt != nil && c.rootDest.Load() == int64(id) {
+		dest := c.pickLive(id)
+		c.rootDest.Store(int64(dest))
+		c.reissued.Add(1)
+		c.send(dest, msg{spawn: c.rootPkt})
+	}
+	return nil
+}
+
+// Wait blocks until the program's answer arrives or the timeout elapses.
+func (c *Cluster) Wait(timeout time.Duration) (expr.Value, error) {
+	select {
+	case v := <-c.resultCh:
+		return v, nil
+	case <-time.After(timeout):
+		return nil, errors.New("livenet: timed out waiting for the answer")
+	}
+}
+
+// Shutdown stops every node goroutine and drainer. Call it exactly once;
+// the cluster is unusable afterwards.
+func (c *Cluster) Shutdown() {
+	close(c.quit)
+	c.wg.Wait()
+}
+
+// Stats reports counters for tests and examples.
+func (c *Cluster) Stats() (spawned, reissued, drained int64) {
+	return c.spawned.Load(), c.reissued.Load(), c.drained.Load()
+}
+
+// send delivers to a node's inbox (dead nodes drain it). The send never
+// blocks the caller: a node that blocked on a full peer inbox — or its own —
+// could deadlock the cluster, so overflow is handed to a goroutine that
+// gives up at shutdown. Causal order is preserved (a result can only be
+// produced after its spawn was processed); order between independent
+// messages is already arbitrary on a real interconnect.
+func (c *Cluster) send(dest int, m msg) {
+	select {
+	case c.nodes[dest].inbox <- m:
+	default:
+		go func() {
+			select {
+			case c.nodes[dest].inbox <- m:
+			case <-c.quit:
+			}
+		}()
+	}
+}
+
+// pickLive chooses any live node other than avoid (falls back to 0).
+func (c *Cluster) pickLive(avoid int) int {
+	for i, nd := range c.nodes {
+		if i != avoid && nd.alive.Load() {
+			return i
+		}
+	}
+	return 0
+}
+
+// run is the node's goroutine loop: the live analogue of §4.2's protocol
+// loop ("LOOP CASE received packet OF ...").
+func (n *node) run() {
+	defer n.c.wg.Done()
+	for {
+		select {
+		case m := <-n.inbox:
+			if !n.alive.Load() {
+				// Crashed mid-queue: stop processing; the drainer takes
+				// over this inbox.
+				return
+			}
+			switch {
+			case m.spawn != nil:
+				n.onSpawn(m.spawn)
+			case m.result != nil:
+				n.onResult(m.result)
+			case m.nodeDown != 0:
+				n.onNodeDown(m.nodeDown - 1)
+			}
+		case <-n.c.quit:
+			return
+		}
+	}
+}
+
+// onSpawn installs a task and runs its first pass. A duplicate with the
+// same parent address is a harmless re-delivery and keeps the incumbent; a
+// duplicate with a *different* parent address is another incarnation
+// (spawned by a recovered — or orphaned — parent incarnation) and runs
+// alongside: killing either would wedge whichever lineage needed it, and
+// determinacy keeps coexistence harmless.
+func (n *node) onSpawn(pkt *packet) {
+	for _, old := range n.tasks[pkt.stamp] {
+		if old.pkt.parentNode == pkt.parentNode &&
+			old.pkt.parentTask == pkt.parentTask &&
+			old.pkt.holeID == pkt.holeID {
+			return // equivalent incarnation; keep the incumbent
+		}
+	}
+	t := &ltask{
+		pkt:      pkt,
+		fills:    map[int]expr.Value{},
+		children: map[int]*childCkpt{},
+	}
+	n.tasks[pkt.stamp] = append(n.tasks[pkt.stamp], t)
+	body, err := n.c.prog.Instantiate(pkt.fn, pkt.args)
+	if err != nil {
+		panic(fmt.Sprintf("livenet: %v", err)) // validated programs cannot fail
+	}
+	out, err := lang.Flatten(n.c.prog, body, &t.nextID)
+	if err != nil {
+		panic(fmt.Sprintf("livenet: %v", err))
+	}
+	n.apply(t, out)
+}
+
+// apply handles a pass outcome: finish, or spawn the demands.
+func (n *node) apply(t *ltask, out lang.Outcome) {
+	if out.Done {
+		n.finish(t, out.Value)
+		return
+	}
+	t.residual = out.Residual
+	for _, d := range out.Demands {
+		child := &packet{
+			stamp:      t.pkt.stamp.Child(uint32(d.ID)),
+			fn:         d.Fn,
+			args:       d.Args,
+			parentNode: n.id,
+			parentTask: t.pkt.stamp,
+			holeID:     d.ID,
+		}
+		dest := n.pickDest()
+		// Functional checkpoint: retain the packet and remember where it
+		// went (§2.1); this is everything recovery needs.
+		t.children[d.ID] = &childCkpt{pkt: child, dest: dest}
+		t.unfilled++
+		n.c.spawned.Add(1)
+		n.c.send(dest, msg{spawn: child})
+	}
+}
+
+// finish sends the task's value to its parent and retires that incarnation.
+func (n *node) finish(t *ltask, v expr.Value) {
+	list := n.tasks[t.pkt.stamp]
+	for i, cand := range list {
+		if cand == t {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(n.tasks, t.pkt.stamp)
+	} else {
+		n.tasks[t.pkt.stamp] = list
+	}
+	if t.pkt.parentNode < 0 {
+		select {
+		case n.c.resultCh <- v:
+		default: // a twin already answered; determinacy says it matches
+		}
+		return
+	}
+	n.c.send(t.pkt.parentNode, msg{result: &resultMsg{
+		child:  t.pkt.stamp,
+		parent: t.pkt.parentTask,
+		holeID: t.pkt.holeID,
+		value:  v,
+	}})
+}
+
+// onResult fills the matching hole of every incarnation of the addressee
+// stamp — results are determinate, so one child's answer serves them all —
+// and resumes whichever incarnations become complete.
+func (n *node) onResult(r *resultMsg) {
+	list := n.tasks[r.parent]
+	if len(list) == 0 {
+		n.c.drained.Add(1) // late/orphan result: ignored (§4.2 rule of thumb)
+		return
+	}
+	consumed := false
+	// finish() mutates the list; iterate over a snapshot.
+	for _, t := range append([]*ltask(nil), list...) {
+		ck := t.children[r.holeID]
+		if ck == nil || ck.filled {
+			continue
+		}
+		consumed = true
+		ck.filled = true
+		t.fills[r.holeID] = r.value
+		t.unfilled--
+		if t.unfilled > 0 {
+			continue
+		}
+		fills := t.fills
+		t.fills = map[int]expr.Value{}
+		out, err := lang.Resume(n.c.prog, t.residual, fills, &t.nextID)
+		if err != nil {
+			panic(fmt.Sprintf("livenet: %v", err))
+		}
+		n.apply(t, out)
+	}
+	if !consumed {
+		n.c.drained.Add(1) // duplicate: "the second copy is simply ignored"
+	}
+}
+
+// onNodeDown reissues the retained packets of unfilled children that were
+// placed on the dead node — the rollback reissue of §3, one parent
+// incarnation at a time.
+func (n *node) onNodeDown(dead int) {
+	n.live[dead] = false
+	for _, list := range n.tasks {
+		for _, t := range list {
+			for _, ck := range t.children {
+				if ck.filled || ck.dest != dead {
+					continue
+				}
+				dest := n.pickDest()
+				ck.dest = dest
+				n.c.reissued.Add(1)
+				n.c.spawned.Add(1)
+				n.c.send(dest, msg{spawn: ck.pkt})
+			}
+		}
+	}
+}
+
+// pickDest chooses a uniformly random live node (possibly itself).
+func (n *node) pickDest() int {
+	for tries := 0; tries < 64; tries++ {
+		d := n.rng.Intn(len(n.live))
+		if n.live[d] && n.c.nodes[d].alive.Load() {
+			return d
+		}
+	}
+	return n.id
+}

@@ -1,0 +1,143 @@
+package livenet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/lang"
+)
+
+func TestFaultFreeLiveRun(t *testing.T) {
+	prog := lang.Fib()
+	c, err := New(prog, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := c.Start("fib", []expr.Value{expr.VInt(14)}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Wait(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(expr.VInt(377)) {
+		t.Fatalf("fib(14) = %v, want 377", v)
+	}
+	spawned, reissued, _ := c.Stats()
+	if spawned == 0 {
+		t.Error("no tasks spawned")
+	}
+	if reissued != 0 {
+		t.Errorf("fault-free run reissued %d packets", reissued)
+	}
+}
+
+func TestLiveRunSurvivesKill(t *testing.T) {
+	prog := lang.Fib()
+	c, err := New(prog, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := c.Start("fib", []expr.Value{expr.VInt(17)}); err != nil {
+		t.Fatal(err)
+	}
+	// Let the tree unfold a little, then crash a node under real load.
+	time.Sleep(5 * time.Millisecond)
+	if err := c.Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Wait(60 * time.Second)
+	if err != nil {
+		spawned, reissued, drained := c.Stats()
+		t.Fatalf("no answer after kill: %v (spawned=%d reissued=%d drained=%d)",
+			err, spawned, reissued, drained)
+	}
+	if !v.Equal(expr.VInt(1597)) {
+		t.Fatalf("fib(17) = %v, want 1597", v)
+	}
+}
+
+func TestLiveRunSurvivesRootNodeKill(t *testing.T) {
+	prog := lang.Fib()
+	c, err := New(prog, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := c.Start("fib", []expr.Value{expr.VInt(15)}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond)
+	// Node 0 hosts the root: the cluster (super-root) must reissue it.
+	if err := c.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Wait(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(expr.VInt(610)) {
+		t.Fatalf("fib(15) = %v, want 610", v)
+	}
+}
+
+func TestLiveRunSurvivesTwoKills(t *testing.T) {
+	prog := lang.TreeSum(3)
+	c, err := New(prog, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := c.Start("tree", []expr.Value{expr.VInt(7)}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(3 * time.Millisecond)
+	if err := c.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(3 * time.Millisecond)
+	if err := c.Kill(4); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Wait(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(expr.VInt(2187)) { // 3^7
+		t.Fatalf("tree(7) = %v, want 2187", v)
+	}
+}
+
+func TestKillValidation(t *testing.T) {
+	c, err := New(lang.Fib(), 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := c.Kill(9); err == nil {
+		t.Error("out-of-range kill accepted")
+	}
+	if err := c.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Kill(1); err == nil {
+		t.Error("double kill accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(lang.Fib(), 1, 1); err == nil {
+		t.Error("single-node cluster accepted")
+	}
+	c, err := New(lang.Fib(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := c.Start("nosuch", nil); err == nil {
+		t.Error("unknown function accepted")
+	}
+}

@@ -1,0 +1,179 @@
+// Package machine implements the simulated applicative multiprocessor: a
+// partitioned-memory collection of processors that cooperatively evaluate an
+// applicative program by demand-driven task spawning (the Rediflow-style
+// substrate of §1), with functional checkpointing (§2), pluggable recovery
+// schemes (§3, §4), failure detection (timeouts, heartbeats, announcements),
+// dynamic load balancing, and replicated-task redundancy (§5.3).
+//
+// The machine runs on the deterministic discrete-event kernel of
+// internal/sim; a run is a pure function of (Config, program, fault plan).
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/balance"
+	"repro/internal/recovery"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a machine.
+type Config struct {
+	// Topo is the interconnection network; its size is the processor count.
+	Topo topology.Topology
+	// Placement decides where spawned tasks go. Defaults to random.
+	Placement balance.Policy
+	// Scheme is the recovery scheme. Defaults to recovery.None().
+	Scheme recovery.Scheme
+	// AncestorDepth is K of §5.2: how many ancestor addresses a task packet
+	// carries (2 = parent + grandparent, the paper's base design). Minimum 1
+	// (parent only, which disables splice escalation).
+	AncestorDepth int
+	// Replication maps function names to replica counts R (§5.3). Functions
+	// not present run single-copy. Replication requires Scheme == None.
+	Replication map[string]int
+	// Seed drives all randomness.
+	Seed int64
+
+	// DisableCheckpoints turns off packet retention entirely — the
+	// zero-fault-tolerance baseline for overhead measurements (T1).
+	DisableCheckpoints bool
+
+	// Cost model, in virtual ticks.
+	StepCost       int64 // per reduction step
+	SpawnOverhead  int64 // per task packet formed
+	CheckpointCost int64 // per functional checkpoint retained (§2.1)
+	HopCost        int64 // per network hop
+	MsgOverhead    int64 // fixed per message latency
+	ByteCost       int64 // extra latency per 64 payload bytes (bandwidth)
+
+	// Failure detection.
+	AckTimeout       sim.Time // placement-ack timeout (Figure 6 state b)
+	ResultTimeout    sim.Time // result-ack timeout
+	HeartbeatEvery   sim.Time // neighbor heartbeat period (<0 disables)
+	HeartbeatMisses  int      // consecutive misses before declaring failure
+	LoadGossipEvery  sim.Time // gradient gossip period (0 disables)
+	SpawnRetryLimit  int      // placement retries before giving up
+	ResultRetryLimit int      // result retries before undeliverable
+
+	// Run bounds.
+	Deadline  sim.Time // virtual-time budget (0 = default)
+	MaxEvents uint64   // event budget (0 = default)
+
+	// StateProbeEvery, when positive, samples the machine's resident state
+	// (task count and packet bytes) at this period; the samples feed the
+	// periodic-global-checkpointing baseline model, which needs to know how
+	// much state a coordinated snapshot would copy at any instant.
+	StateProbeEvery sim.Time
+
+	// Trace receives events when non-nil.
+	Trace *trace.Log
+}
+
+// Default cost and protocol constants. They are deliberately round numbers;
+// experiments sweep the ratios that matter.
+const (
+	DefaultStepCost       = 1
+	DefaultSpawnOverhead  = 2
+	DefaultCheckpointCost = 1
+	DefaultHopCost        = 4
+	DefaultMsgOverhead    = 2
+	DefaultByteCost       = 0
+
+	DefaultAckTimeout      = 600
+	DefaultResultTimeout   = 600
+	DefaultHeartbeatEvery  = 250
+	DefaultHeartbeatMisses = 2
+	DefaultLoadGossipEvery = 20
+	DefaultSpawnRetry      = 16
+	DefaultResultRetry     = 3
+
+	DefaultDeadline  = 2_000_000
+	DefaultMaxEvents = 50_000_000
+)
+
+// normalized fills defaults and validates; it returns a copy.
+func (c Config) normalized() (Config, error) {
+	if c.Topo == nil {
+		return c, errors.New("machine: Config.Topo is required")
+	}
+	if c.Topo.Size() < 2 {
+		return c, fmt.Errorf("machine: need at least 2 processors, got %d", c.Topo.Size())
+	}
+	if c.Placement == nil {
+		c.Placement = balance.NewRandom()
+	}
+	if c.Scheme == nil {
+		c.Scheme = recovery.None()
+	}
+	if c.AncestorDepth == 0 {
+		c.AncestorDepth = 2
+	}
+	if c.AncestorDepth < 1 {
+		return c, fmt.Errorf("machine: AncestorDepth %d < 1", c.AncestorDepth)
+	}
+	for fn, r := range c.Replication {
+		if r < 1 {
+			return c, fmt.Errorf("machine: replication %d for %q < 1", r, fn)
+		}
+		if r > 1 && c.Scheme.Name() != "none" {
+			// §5.3 presents replicated tasks as an alternative reliability
+			// mechanism, not one composed with rollback/splice; composing
+			// them would need replica-aware genealogy and is out of scope.
+			return c, fmt.Errorf("machine: replication requires the none scheme, have %q", c.Scheme.Name())
+		}
+	}
+	if c.StepCost == 0 {
+		c.StepCost = DefaultStepCost
+	}
+	if c.SpawnOverhead == 0 {
+		c.SpawnOverhead = DefaultSpawnOverhead
+	}
+	if c.CheckpointCost == 0 {
+		c.CheckpointCost = DefaultCheckpointCost
+	}
+	if c.HopCost == 0 {
+		c.HopCost = DefaultHopCost
+	}
+	if c.MsgOverhead == 0 {
+		c.MsgOverhead = DefaultMsgOverhead
+	}
+	if c.AckTimeout == 0 {
+		c.AckTimeout = DefaultAckTimeout
+	}
+	if c.ResultTimeout == 0 {
+		c.ResultTimeout = DefaultResultTimeout
+	}
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = DefaultHeartbeatEvery
+	} else if c.HeartbeatEvery < 0 {
+		c.HeartbeatEvery = 0 // negative disables the service
+	}
+	if c.HeartbeatMisses == 0 {
+		c.HeartbeatMisses = DefaultHeartbeatMisses
+	}
+	if c.LoadGossipEvery == 0 {
+		c.LoadGossipEvery = DefaultLoadGossipEvery
+	} else if c.LoadGossipEvery < 0 {
+		c.LoadGossipEvery = 0 // negative disables the service
+	}
+	if c.SpawnRetryLimit == 0 {
+		c.SpawnRetryLimit = DefaultSpawnRetry
+	}
+	if c.ResultRetryLimit == 0 {
+		c.ResultRetryLimit = DefaultResultRetry
+	}
+	if c.Deadline == 0 {
+		c.Deadline = DefaultDeadline
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = DefaultMaxEvents
+	}
+	if c.StepCost < 0 || c.HopCost < 0 || c.MsgOverhead < 0 || c.SpawnOverhead < 0 || c.ByteCost < 0 {
+		return c, errors.New("machine: negative costs are not allowed")
+	}
+	return c, nil
+}

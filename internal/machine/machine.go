@@ -1,0 +1,385 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/faults"
+	"repro/internal/lang"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+type nodeID = topology.NodeID
+
+// noProc marks the host pseudo-task's absent parent.
+const noProc proto.ProcID = -3
+
+// Machine is the simulated applicative multiprocessor.
+type Machine struct {
+	cfg    Config
+	kernel *sim.Kernel
+	prog   *lang.Program
+	n      int
+
+	procs []*proc
+	host  *proc
+
+	metrics trace.Metrics
+	tlog    *trace.Log
+
+	repSeq uint64
+	genSeq uint64
+
+	// Completion state.
+	done   bool
+	answer expr.Value
+	doneAt sim.Time
+	runErr error
+
+	// failTime records injected failure times for detection-latency
+	// accounting; firstDetect marks which failures have been detected by
+	// anyone yet.
+	failTime    map[proto.ProcID]sim.Time
+	firstDetect map[proto.ProcID]bool
+
+	stateSamples []StateSample
+}
+
+// StateSample is one probe of the machine's resident state.
+type StateSample struct {
+	Time  sim.Time
+	Tasks int   // resident tasks across all processors
+	Bytes int64 // encoded size of their packets (snapshot payload)
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	// Answer is the program's result; nil when the run did not complete.
+	Answer expr.Value
+	// Completed is true when the answer reached the super-root.
+	Completed bool
+	// Err holds a program evaluation error, if one occurred.
+	Err error
+	// Makespan is the virtual time at completion (or at the deadline for
+	// incomplete runs).
+	Makespan sim.Time
+	// Metrics are the aggregate counters of the run.
+	Metrics trace.Metrics
+	// Log is the event log (nil unless tracing was configured).
+	Log *trace.Log
+	// Scheme and Placement echo the configuration for reports.
+	Scheme, Placement string
+	// Procs is the processor count.
+	Procs int
+	// Events is the number of kernel events dispatched.
+	Events uint64
+	// StateSamples holds the probes requested via Config.StateProbeEvery.
+	StateSamples []StateSample
+	// StepsByProc is the reduction-step count each processor executed —
+	// the load distribution §3.3's balance discussion is about.
+	StepsByProc []int64
+}
+
+// New builds a machine for the given configuration and program.
+func New(cfg Config, prog *lang.Program) (*Machine, error) {
+	norm, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if prog == nil {
+		return nil, errors.New("machine: program is required")
+	}
+	m := &Machine{
+		cfg:         norm,
+		kernel:      sim.NewKernel(norm.Seed),
+		prog:        prog,
+		n:           norm.Topo.Size(),
+		tlog:        norm.Trace,
+		failTime:    map[proto.ProcID]sim.Time{},
+		firstDetect: map[proto.ProcID]bool{},
+	}
+	m.procs = make([]*proc, m.n)
+	for i := 0; i < m.n; i++ {
+		m.procs[i] = newProc(proto.ProcID(i), m, false)
+	}
+	m.host = newProc(proto.HostID, m, true)
+	return m, nil
+}
+
+// Kernel exposes the event kernel (scenario tests schedule probes with it).
+func (m *Machine) Kernel() *sim.Kernel { return m.kernel }
+
+// proc resolves a processor id, including the host. Unknown ids return nil.
+func (m *Machine) proc(id proto.ProcID) *proc {
+	if id == proto.HostID {
+		return m.host
+	}
+	if id >= 0 && int(id) < m.n {
+		return m.procs[id]
+	}
+	return nil
+}
+
+// replicasFor returns the §5.3 replication degree for a function.
+func (m *Machine) replicasFor(fn string) int {
+	if r, ok := m.cfg.Replication[fn]; ok && r > 1 {
+		return r
+	}
+	return 1
+}
+
+// freshRep allocates a replica lineage id.
+func (m *Machine) freshRep() proto.Rep {
+	m.repSeq++
+	return proto.Rep(m.repSeq)
+}
+
+// freshGen allocates an incarnation generation (never 0; 0 means "any").
+func (m *Machine) freshGen() uint64 {
+	m.genSeq++
+	return m.genSeq
+}
+
+// log appends a trace event.
+func (m *Machine) log(p proto.ProcID, kind trace.Kind, task, note string) {
+	m.tlog.Add(trace.Event{
+		Time: int64(m.kernel.Now()), Proc: int32(p), Kind: kind, Task: task, Note: note,
+	})
+}
+
+// noteDetection records detection latency the first time anyone detects a
+// given failure.
+func (m *Machine) noteDetection(failed proto.ProcID) {
+	ft, ok := m.failTime[failed]
+	if !ok || m.firstDetect[failed] {
+		return
+	}
+	m.firstDetect[failed] = true
+	m.metrics.FirstDetections++
+	m.metrics.DetectLatencySum += int64(m.kernel.Now() - ft)
+}
+
+// send transmits a message. Local (from == to) deliveries cost one tick and
+// no message accounting; remote ones pay per-hop latency and are counted.
+// Dead processors transmit nothing.
+func (m *Machine) send(msg *proto.Msg) {
+	src := m.proc(msg.From)
+	if src == nil || src.dead {
+		// Dead processors no longer transmit (§1); the announced-crash
+		// "dying gasp" is sent by die() before the flag is set.
+		return
+	}
+	if msg.From == msg.To {
+		m.kernel.After(1, func() { m.deliver(msg) })
+		return
+	}
+	hops := m.hops(msg.From, msg.To)
+	size := msg.EncodedSize()
+	m.metrics.BytesOnWire += int64(size)
+	m.metrics.HopsOnWire += int64(hops)
+	m.countMsg(msg.Type)
+	latency := m.cfg.MsgOverhead + m.cfg.HopCost*int64(hops) + m.cfg.ByteCost*int64(size/64)
+	if latency < 1 {
+		latency = 1
+	}
+	m.kernel.After(sim.Time(latency), func() { m.deliver(msg) })
+}
+
+// countMsg tallies messages that are not already tallied at their call
+// sites. Task, result, and similar messages increment their specific
+// counters where they are built; the generic ones are counted here.
+func (m *Machine) countMsg(t proto.MsgType) {
+	switch t {
+	case proto.MsgAbort:
+		m.metrics.MsgAbort++
+	case proto.MsgFaultAnnounce:
+		m.metrics.MsgFault++
+	case proto.MsgHeartbeatAck:
+		m.metrics.MsgHeartbeat++
+	case proto.MsgFreeze, proto.MsgFreezeAck, proto.MsgResume:
+		m.metrics.MsgControl++
+	}
+}
+
+// deliver hands a message to its destination; dead destinations drop it
+// (the network knows only physical liveness, not suspicion state).
+func (m *Machine) deliver(msg *proto.Msg) {
+	dst := m.proc(msg.To)
+	if dst == nil || dst.dead {
+		return
+	}
+	dst.handle(msg)
+}
+
+// hops is the network distance between two processors. Host links are one
+// hop (the operator console attaches at processor 0's port).
+func (m *Machine) hops(from, to proto.ProcID) int {
+	if from == proto.HostID || to == proto.HostID {
+		return 1
+	}
+	return m.cfg.Topo.Dist(nodeID(from), nodeID(to))
+}
+
+// complete records the program's answer arriving at the super-root and
+// stops the run.
+func (m *Machine) complete(v expr.Value) {
+	if m.done {
+		return
+	}
+	m.done = true
+	m.answer = v
+	m.doneAt = m.kernel.Now()
+	m.log(proto.HostID, trace.KRootDone, "", v.String())
+	m.kernel.Stop()
+}
+
+// failRun aborts the run with a program error (evaluation errors are
+// deterministic program bugs, not recoverable faults).
+func (m *Machine) failRun(err error) {
+	if m.runErr == nil {
+		m.runErr = err
+	}
+	m.kernel.Stop()
+}
+
+// Run evaluates fn(args) on the machine under the given fault plan and
+// returns the report. A machine instance runs once.
+func (m *Machine) Run(fn string, args []expr.Value, plan *faults.Plan) (*Report, error) {
+	if _, ok := m.prog.Func(fn); !ok {
+		return nil, fmt.Errorf("machine: entry function %q not in program", fn)
+	}
+	if plan == nil {
+		plan = faults.None()
+	}
+	if err := plan.Validate(m.n); err != nil {
+		return nil, err
+	}
+	// Schedule fault injections first so they dispatch before same-tick
+	// protocol events.
+	for _, f := range plan.Sorted() {
+		f := f
+		m.kernel.At(sim.Time(f.At), func() { m.inject(f) })
+	}
+	// Start periodic services with per-processor deterministic stagger.
+	for i, p := range m.procs {
+		p := p
+		if m.cfg.HeartbeatEvery > 0 {
+			m.kernel.At(m.cfg.HeartbeatEvery+sim.Time(i), p.heartbeatTick)
+		}
+		if m.cfg.LoadGossipEvery > 0 {
+			m.kernel.At(sim.Time(1+i%int(m.cfg.LoadGossipEvery)), p.gossipTick)
+		}
+		// Seed heartbeat liveness so nobody is declared dead before the
+		// first exchange.
+		for _, nb := range p.neighbors {
+			p.lastHeard[nb] = 0
+		}
+	}
+	if m.cfg.StateProbeEvery > 0 {
+		var probe func()
+		probe = func() {
+			m.stateSamples = append(m.stateSamples, m.sampleState())
+			m.kernel.After(m.cfg.StateProbeEvery, probe)
+		}
+		m.kernel.At(m.cfg.StateProbeEvery, probe)
+	}
+	// Install the host pseudo-task and demand the root application
+	// (the pre-evaluation checkpoint of §4.3.1: the super-root retains the
+	// root task packet).
+	hostPkt := &proto.TaskPacket{
+		Key:    proto.TaskKey{},
+		Fn:     fn,
+		Parent: proto.Addr{Proc: noProc},
+	}
+	hostTask := newTask(hostPkt)
+	hostTask.isHostRoot = true
+	hostTask.state = taskWaiting
+	hostTask.residual = expr.Hole{ID: 0}
+	hostTask.nextID = 1
+	m.host.tasks[hostPkt.Key] = hostTask
+	m.host.spawnDemand(hostTask, lang.Demand{ID: 0, Fn: fn, Args: args})
+
+	// Drive the simulation to completion, deadline, or event budget.
+	m.kernel.RunUntil(m.cfg.Deadline, m.cfg.MaxEvents)
+	// Final accounting. Tasks still returning have finished their work and
+	// are merely awaiting result acknowledgements cut off by the stop; only
+	// tasks that never produced a value count as leaked.
+	for _, p := range m.procs {
+		for _, t := range p.tasks {
+			if t.state != taskAborted && t.state != taskReturning {
+				m.metrics.TasksLeaked++
+			}
+		}
+		m.metrics.CheckpointBytes += p.store.PeakBytes()
+	}
+	m.metrics.CheckpointBytes += m.host.store.PeakBytes()
+
+	makespan := m.doneAt
+	if !m.done {
+		makespan = m.kernel.Now()
+	}
+	stepsByProc := make([]int64, m.n)
+	for i, p := range m.procs {
+		stepsByProc[i] = p.stepsDone
+	}
+	return &Report{
+		Answer:       m.answer,
+		Completed:    m.done,
+		Err:          m.runErr,
+		Makespan:     makespan,
+		Metrics:      m.metrics,
+		Log:          m.tlog,
+		Scheme:       m.cfg.Scheme.Name(),
+		Placement:    m.cfg.Placement.Name(),
+		Procs:        m.n,
+		Events:       m.kernel.Processed(),
+		StateSamples: m.stateSamples,
+		StepsByProc:  stepsByProc,
+	}, nil
+}
+
+// sampleState sums resident task state across processors.
+func (m *Machine) sampleState() StateSample {
+	s := StateSample{Time: m.kernel.Now()}
+	for _, p := range m.procs {
+		for _, t := range p.tasks {
+			if t.state == taskAborted {
+				continue
+			}
+			s.Tasks++
+			s.Bytes += int64(t.pkt.EncodedSize())
+		}
+	}
+	return s
+}
+
+// inject applies one fault.
+func (m *Machine) inject(f faults.Fault) {
+	p := m.proc(f.Proc)
+	if p == nil || p.isHost {
+		return
+	}
+	switch f.Kind {
+	case faults.Corrupt:
+		if !p.dead {
+			p.corrupt = true
+			m.log(f.Proc, trace.KFail, "", "value corruption begins")
+		}
+	default:
+		if p.dead {
+			return
+		}
+		m.metrics.Failures++
+		m.failTime[f.Proc] = m.kernel.Now()
+		m.log(f.Proc, trace.KFail, "", f.Kind.String())
+		p.die(f.Kind == faults.CrashAnnounced)
+	}
+}
+
+// tracing reports whether an event log is attached; hot paths use it to
+// skip building log arguments.
+func (m *Machine) tracing() bool { return m.tlog != nil }

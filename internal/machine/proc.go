@@ -1,0 +1,1155 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/balance"
+	"repro/internal/checkpoint"
+	"repro/internal/expr"
+	"repro/internal/lang"
+	"repro/internal/proto"
+	"repro/internal/recovery"
+	"repro/internal/sim"
+	"repro/internal/stamp"
+	"repro/internal/trace"
+)
+
+// proc is one processor of the machine (or the host pseudo-processor).
+// It is single-threaded: all methods run inside kernel events.
+type proc struct {
+	id     proto.ProcID
+	m      *Machine
+	isHost bool
+
+	dead    bool
+	corrupt bool
+
+	tasks  map[proto.TaskKey]*task
+	readyQ []proto.TaskKey
+	busy   bool
+
+	store  *checkpoint.Store
+	policy recovery.Policy
+
+	faulty    map[proto.ProcID]bool
+	neighbors []proto.ProcID
+
+	// Gradient-model state: last gossiped value per neighbor, last value we
+	// sent (to gossip only on change).
+	nbGrad       map[proto.ProcID]int
+	lastSentGrad int
+
+	// Heartbeat bookkeeping: last time each neighbor answered.
+	lastHeard map[proto.ProcID]sim.Time
+
+	// relayBuf buffers orphan results for twins whose placement is not yet
+	// acknowledged (§4.1 "Having the grandparent relay partial results").
+	relayBuf map[proto.TaskKey][]*proto.Result
+
+	hbTimer     *sim.Timer
+	gossipTimer *sim.Timer
+
+	// stepsDone counts reduction steps executed here (load accounting).
+	stepsDone int64
+}
+
+func newProc(id proto.ProcID, m *Machine, isHost bool) *proc {
+	p := &proc{
+		id:           id,
+		m:            m,
+		isHost:       isHost,
+		tasks:        make(map[proto.TaskKey]*task),
+		store:        checkpoint.NewStore(),
+		faulty:       make(map[proto.ProcID]bool),
+		nbGrad:       make(map[proto.ProcID]int),
+		lastHeard:    make(map[proto.ProcID]sim.Time),
+		relayBuf:     make(map[proto.TaskKey][]*proto.Result),
+		lastSentGrad: -1,
+	}
+	if isHost {
+		p.neighbors = []proto.ProcID{0}
+	} else {
+		for _, nb := range m.cfg.Topo.Neighbors(toNode(id)) {
+			p.neighbors = append(p.neighbors, proto.ProcID(nb))
+		}
+	}
+	p.policy = m.cfg.Scheme.New(p)
+	return p
+}
+
+// --- balance.View ---
+
+// Self implements balance.View and recovery.Ops.
+func (p *proc) Self() proto.ProcID { return p.id }
+
+// Size implements balance.View.
+func (p *proc) Size() int { return p.m.n }
+
+// QueueLen implements balance.View: ready tasks plus the one running.
+func (p *proc) QueueLen() int {
+	n := len(p.readyQ)
+	if p.busy {
+		n++
+	}
+	return n
+}
+
+// Neighbors implements balance.View.
+func (p *proc) Neighbors() []proto.ProcID { return p.neighbors }
+
+// NeighborGradient implements balance.View.
+func (p *proc) NeighborGradient(q proto.ProcID) int {
+	if g, ok := p.nbGrad[q]; ok {
+		return g
+	}
+	return balance.MaxGradient
+}
+
+// IsFaulty implements balance.View and part of recovery.Ops.
+func (p *proc) IsFaulty(q proto.ProcID) bool { return p.faulty[q] }
+
+// Rand implements balance.View.
+func (p *proc) Rand() *rand.Rand { return p.m.kernel.Rand() }
+
+// --- recovery.Ops ---
+
+// Store implements recovery.Ops.
+func (p *proc) Store() *checkpoint.Store { return p.store }
+
+// ResidentTaskKeys implements recovery.Ops.
+func (p *proc) ResidentTaskKeys() []proto.TaskKey {
+	out := make([]proto.TaskKey, 0, len(p.tasks))
+	for k, t := range p.tasks {
+		if t.state != taskAborted {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Stamp.Compare(out[j].Stamp); c != 0 {
+			return c < 0
+		}
+		return out[i].Rep < out[j].Rep
+	})
+	return out
+}
+
+// TaskWaitingOnHole implements recovery.Ops.
+func (p *proc) TaskWaitingOnHole(key proto.TaskKey, holeID int) bool {
+	t, ok := p.tasks[key]
+	if !ok || t.state == taskAborted {
+		return false
+	}
+	h, ok := t.holes[holeID]
+	return ok && !h.filled
+}
+
+// IsKnownFaulty implements recovery.Ops.
+func (p *proc) IsKnownFaulty(q proto.ProcID) bool { return p.faulty[q] }
+
+// Metrics implements recovery.Ops.
+func (p *proc) Metrics() *trace.Metrics { return &p.m.metrics }
+
+// Log implements recovery.Ops.
+func (p *proc) Log(kind trace.Kind, task fmt.Stringer, note string) {
+	label := ""
+	if task != nil {
+		label = task.String()
+	}
+	p.m.log(p.id, kind, label, note)
+}
+
+// DropResult implements recovery.Ops.
+func (p *proc) DropResult(res *proto.Result, stranded bool) {
+	if stranded {
+		p.m.metrics.Stranded++
+		p.m.log(p.id, trace.KStrand, res.Child.String(), "no live ancestor")
+		return
+	}
+	p.m.metrics.LateResults++
+	p.m.log(p.id, trace.KLateResult, res.Child.String(), "discarded")
+}
+
+// Respawn implements recovery.Ops: re-inject a retained packet (rollback
+// reissue or splice twin). The parent's hole record is re-armed so the new
+// incarnation's placement and result are tracked like the original's.
+func (p *proc) Respawn(pkt *proto.TaskPacket) {
+	parent, ok := p.tasks[pkt.Parent.Task]
+	if !ok || parent.state == taskAborted {
+		p.m.log(p.id, trace.KLateResult, pkt.Key.String(), "respawn skipped: parent gone")
+		return
+	}
+	h, ok := parent.holes[pkt.HoleID]
+	if !ok || h.filled {
+		p.m.log(p.id, trace.KLateResult, pkt.Key.String(), "respawn skipped: hole filled")
+		return
+	}
+	var cr *childRef
+	for _, c := range h.children {
+		if c.key == pkt.Key {
+			cr = c
+			break
+		}
+	}
+	if cr == nil {
+		cr = &childRef{key: pkt.Key}
+		h.children = append(h.children, cr)
+	}
+	cr.ackTimer.Stop()
+	pkt.Gen = p.m.freshGen()
+	pkt.ParentGen = parent.pkt.Gen
+	cr.gen = pkt.Gen
+	cr.dest = checkpoint.PendingDest
+	cr.retries = 0
+	cr.returned = false
+	cr.vote = nil
+	if pkt.Twin {
+		p.m.metrics.Twins++
+	} else if pkt.Reissue {
+		p.m.metrics.Reissues++
+	}
+	p.m.metrics.TasksSpawned++
+	if !p.m.cfg.DisableCheckpoints {
+		p.store.Retain(pkt)
+	}
+	p.route(parent, pkt, cr, nil)
+}
+
+// Abort implements recovery.Ops: kill a resident task and garbage-collect
+// its abandoned relatives (§3.2). scope, when not the root stamp, is the
+// reissued checkpoint whose genealogical dependents are being collected:
+// the abort then propagates both down to children and up to the parent, as
+// long as the relative's stamp stays inside the scope. An unscoped abort
+// cascades downward only.
+func (p *proc) Abort(key proto.TaskKey, scope stamp.Stamp, reason string) {
+	p.abortGen(key, 0, scope, reason)
+}
+
+// abortGen kills the resident task with the given key if its generation
+// matches (gen 0 kills unconditionally — used when the caller identified the
+// task locally). Generation targeting guarantees a stale abort aimed at an
+// abandoned incarnation can never hit a reissued or twin replacement that
+// reuses the stamp; a missed orphan dies lazily when its result proves
+// undeliverable.
+func (p *proc) abortGen(key proto.TaskKey, gen uint64, scope stamp.Stamp, reason string) {
+	t, ok := p.tasks[key]
+	if !ok || t.state == taskAborted {
+		return
+	}
+	if gen != 0 && t.pkt.Gen != gen {
+		return // different incarnation; not ours to kill
+	}
+	t.cancelTimers()
+	t.state = taskAborted
+	delete(p.tasks, key)
+	p.m.metrics.TasksAborted++
+	p.m.metrics.StepsWasted += t.stepsSpent
+	p.m.log(p.id, trace.KAbort, key.String(), reason)
+	ids := make([]int, 0, len(t.holes))
+	for id := range t.holes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		h := t.holes[id]
+		if h.filled {
+			continue
+		}
+		for _, c := range h.children {
+			p.store.Release(c.key)
+			if c.dest >= 0 && !p.faulty[c.dest] {
+				p.m.send(&proto.Msg{
+					Type: proto.MsgAbort, From: p.id, To: c.dest,
+					AbortTask: c.key, AbortGen: c.gen, AbortScope: scope,
+				})
+			}
+		}
+	}
+	// Upward propagation within the scope: the parent's arguments can no
+	// longer be obtained ("a processor is required to abort a task if new
+	// arguments of the task cannot be obtained" — §3.2). The parent is
+	// targeted by the exact incarnation that spawned us, so replacements
+	// are safe.
+	if !scope.IsRoot() && scope.IsAncestorOf(t.pkt.Parent.Task.Stamp) {
+		pp := t.pkt.Parent.Proc
+		if pp == p.id {
+			p.abortGen(t.pkt.Parent.Task, t.pkt.ParentGen, scope, "dependent of reissued "+scope.String())
+		} else if pp >= 0 && !p.faulty[pp] {
+			p.m.send(&proto.Msg{
+				Type: proto.MsgAbort, From: p.id, To: pp,
+				AbortTask: t.pkt.Parent.Task, AbortGen: t.pkt.ParentGen, AbortScope: scope,
+			})
+		}
+	}
+}
+
+// EscalateResult implements recovery.Ops: forward an undeliverable result to
+// the first believed-live ancestor, or strand it (§4.1, §5.2).
+func (p *proc) EscalateResult(res *proto.Result) {
+	rem := res.Remaining
+	for len(rem) > 0 {
+		anc := rem[0]
+		rem = rem[1:]
+		if anc.Proc != proto.HostID && p.faulty[anc.Proc] {
+			continue
+		}
+		fwd := *res
+		fwd.ParentTask = anc.Task
+		fwd.Remaining = rem
+		p.m.metrics.MsgGrand++ // categorized here; send() counts bytes/hops
+		p.m.send(&proto.Msg{Type: proto.MsgGrandResult, From: p.id, To: anc.Proc, Result: &fwd})
+		// Guard the escalation with the completing task's result timer: if
+		// the ancestor is silently dead too, time out and escalate further
+		// (§5.2 multi-fault extension).
+		if t, ok := p.tasks[res.Child]; ok {
+			t.escalated = true
+			t.resultTimer.Stop()
+			resCopy := fwd
+			ancProc := anc.Proc
+			t.resultTimer = p.m.kernel.After(p.m.cfg.ResultTimeout, func() {
+				p.onGrandTimeout(res.Child, ancProc, &resCopy)
+			})
+		}
+		return
+	}
+	// No live ancestor remains: the orphan is stranded (§5.2).
+	p.DropResult(res, true)
+	if t, ok := p.tasks[res.Child]; ok && t.state == taskReturning {
+		t.cancelTimers()
+		t.state = taskAborted
+		delete(p.tasks, res.Child)
+		p.m.metrics.TasksAborted++
+		p.m.metrics.StepsWasted += t.stepsSpent
+	}
+}
+
+// onGrandTimeout: the ancestor we escalated to never acknowledged — it is
+// dead as well. Declare it and continue up the chain with the remaining
+// ancestors.
+func (p *proc) onGrandTimeout(child proto.TaskKey, ancProc proto.ProcID, res *proto.Result) {
+	if p.dead {
+		return
+	}
+	if _, ok := p.tasks[child]; !ok {
+		return // retired meanwhile
+	}
+	p.declareFaulty(ancProc)
+	p.EscalateResult(res)
+}
+
+// DeclareFaulty implements recovery.Ops.
+func (p *proc) DeclareFaulty(q proto.ProcID) { p.declareFaulty(q) }
+
+// declareFaulty marks q failed, floods the announcement, fails fast any
+// returning results addressed to q, and invokes the recovery policy.
+func (p *proc) declareFaulty(q proto.ProcID) {
+	if q == proto.HostID || q == p.id || p.faulty[q] || p.dead {
+		return
+	}
+	p.faulty[q] = true
+	p.m.metrics.Detections++
+	p.m.noteDetection(q)
+	p.m.log(p.id, trace.KDetect, "", fmt.Sprintf("processor %d failed", q))
+	// Flood the announcement (§4.2 "error-detection").
+	for _, nb := range p.neighbors {
+		if !p.faulty[nb] {
+			p.m.send(&proto.Msg{Type: proto.MsgFaultAnnounce, From: p.id, To: nb, Failed: q})
+		}
+	}
+	if p.id == 0 && !p.isHost {
+		// Processor 0 relays announcements to the host console.
+		p.m.send(&proto.Msg{Type: proto.MsgFaultAnnounce, From: p.id, To: proto.HostID, Failed: q})
+	}
+	// Recovery hook.
+	p.policy.OnFailureDetected(q)
+	// Fail fast: returning tasks whose parent lived on q should not wait
+	// for their result-ack timeout.
+	keys := p.ResidentTaskKeys()
+	for _, k := range keys {
+		t, ok := p.tasks[k]
+		if !ok || t.state != taskReturning || t.escalated {
+			continue
+		}
+		if t.pkt.Parent.Proc == q {
+			t.resultTimer.Stop()
+			p.policy.OnResultUndeliverable(p.buildResult(t))
+		}
+	}
+}
+
+// RelayToTwin implements recovery.Ops: forward an orphan result to the dead
+// task's twin, buffering until the twin's placement is acknowledged.
+func (p *proc) RelayToTwin(res *proto.Result) {
+	key := res.DeadParent.Task
+	dest, ok := p.store.Dest(key)
+	if !ok {
+		p.DropResult(res, false)
+		return
+	}
+	if dest == checkpoint.PendingDest || p.faulty[dest] {
+		p.relayBuf[key] = append(p.relayBuf[key], res)
+		return
+	}
+	fwd := *res
+	fwd.ParentTask = key
+	p.m.metrics.MsgResult++
+	p.m.send(&proto.Msg{Type: proto.MsgResult, From: p.id, To: dest, Result: &fwd})
+}
+
+// --- task execution ---
+
+// maybeRun starts the next ready task if the processor is free.
+func (p *proc) maybeRun() {
+	if p.busy || p.dead {
+		return
+	}
+	for len(p.readyQ) > 0 {
+		key := p.readyQ[0]
+		p.readyQ = p.readyQ[1:]
+		t, ok := p.tasks[key]
+		if !ok || t.state != taskReady {
+			continue
+		}
+		p.runPass(t)
+		return
+	}
+}
+
+// runPass executes one reduction pass of t: compute the outcome now, charge
+// its virtual cost, and apply it when the cost has elapsed.
+func (p *proc) runPass(t *task) {
+	t.state = taskRunning
+	p.busy = true
+	if p.m.tracing() {
+		p.m.log(p.id, trace.KStart, t.pkt.Key.String(), t.pkt.Fn)
+	}
+
+	var out lang.Outcome
+	var err error
+	if t.residual == nil {
+		var body expr.Expr
+		body, err = p.m.prog.Instantiate(t.pkt.Fn, t.pkt.Args)
+		if err == nil {
+			out, err = lang.Flatten(p.m.prog, body, &t.nextID)
+		}
+	} else {
+		fills := t.pendingFills
+		t.pendingFills = map[int]expr.Value{}
+		out, err = lang.Resume(p.m.prog, t.residual, fills, &t.nextID)
+	}
+	if err != nil {
+		p.m.failRun(fmt.Errorf("task %v on processor %d: %w", t.pkt.Key, p.id, err))
+		return
+	}
+	cost := int64(out.Steps)*p.m.cfg.StepCost + int64(len(out.Demands))*p.m.cfg.SpawnOverhead
+	if !p.m.cfg.DisableCheckpoints {
+		// Retaining the packet copies it into the local checkpoint store —
+		// a small but real cost (§2.1's "fully embedded in the evaluation
+		// process").
+		cost += int64(len(out.Demands)) * p.m.cfg.CheckpointCost
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	p.m.kernel.After(sim.Time(cost), func() { p.finishPass(t, out) })
+}
+
+// finishPass applies the outcome of a reduction pass.
+func (p *proc) finishPass(t *task, out lang.Outcome) {
+	p.busy = false
+	defer p.maybeRun()
+	if p.dead || t.state != taskRunning {
+		return // died or aborted mid-pass; outcome discarded
+	}
+	t.stepsSpent += int64(out.Steps)
+	p.m.metrics.StepsExecuted += int64(out.Steps)
+	p.stepsDone += int64(out.Steps)
+	if out.Done {
+		v := out.Value
+		if p.corrupt {
+			v = perturb(v)
+		}
+		t.value = v
+		t.state = taskReturning
+		p.m.metrics.TasksCompleted++
+		if p.m.tracing() {
+			p.m.log(p.id, trace.KComplete, t.pkt.Key.String(), v.String())
+		}
+		if t.isHostRoot {
+			p.m.complete(v)
+			return
+		}
+		p.sendResult(t)
+		return
+	}
+	t.residual = out.Residual
+	t.state = taskWaiting
+	for _, d := range out.Demands {
+		p.spawnDemand(t, d)
+	}
+	if p.m.tracing() {
+		p.m.log(p.id, trace.KBlock, t.pkt.Key.String(), fmt.Sprintf("%d outstanding", t.unfilled))
+	}
+	if t.unfilled == 0 {
+		// Every demand was satisfied from inherited results (§4.1 case 4/5).
+		t.state = taskReady
+		p.readyQ = append(p.readyQ, t.pkt.Key)
+	}
+}
+
+// spawnDemand creates the child task(s) for one demand: DEMAND_IT of §4.2 —
+// form the packet, level-stamp it, attach parent and grandparent
+// identifications, queue it to the load balancing manager, and functional
+// checkpoint it.
+func (p *proc) spawnDemand(t *task, d lang.Demand) {
+	if v, ok := t.prefill[d.ID]; ok {
+		// The answer is already there (§4.1 case 4/5): consume the
+		// inherited result; do not spawn.
+		delete(t.prefill, d.ID)
+		h := t.hole(d.ID)
+		h.filled = true
+		h.value = v
+		t.pendingFills[d.ID] = v
+		p.m.metrics.Prefills++
+		if p.m.tracing() {
+			p.m.log(p.id, trace.KPrefill, t.pkt.Key.String(), fmt.Sprintf("hole %d inherited", d.ID))
+		}
+		return
+	}
+	// Replication applies only to spawns from the original lineage: a
+	// replica executes its whole subtree single-copy (§5.3 replicates "the
+	// task packets" of a marked critical section; §5.4's TMR runs complete
+	// copies of the program). Re-replicating inside replicas would compound
+	// to R^depth copies.
+	reps := 1
+	if t.pkt.Key.Rep == 0 {
+		reps = p.m.replicasFor(d.Fn)
+	}
+	h := t.hole(d.ID)
+	childStamp := t.pkt.Key.Stamp.Child(uint32(d.ID))
+	// Replicas must land on distinct processors where possible: "Copies of
+	// each instruction are carefully distributed so that each copy is
+	// executed by a different processor" (§5.4's TMR model, adopted for
+	// §5.3 replication).
+	var avoid map[proto.ProcID]bool
+	if reps > 1 {
+		avoid = make(map[proto.ProcID]bool, reps)
+	}
+	for r := 0; r < reps; r++ {
+		rep := t.pkt.Key.Rep
+		if reps > 1 {
+			rep = p.m.freshRep()
+		}
+		pkt := &proto.TaskPacket{
+			Key:       proto.TaskKey{Stamp: childStamp, Rep: rep},
+			Gen:       p.m.freshGen(),
+			ParentGen: t.pkt.Gen,
+			Fn:        d.Fn,
+			Args:      d.Args,
+			Parent:    proto.Addr{Proc: p.id, Task: t.pkt.Key},
+			HoleID:    d.ID,
+			Replicas:  reps,
+		}
+		pkt.Ancestors = ancestorChain(t.pkt, p.m.cfg.AncestorDepth)
+		cr := &childRef{key: pkt.Key, gen: pkt.Gen, dest: checkpoint.PendingDest}
+		h.children = append(h.children, cr)
+		p.m.metrics.TasksSpawned++
+		if p.m.tracing() {
+			p.m.log(p.id, trace.KSpawn, pkt.Key.String(), fmt.Sprintf("%s by %v", d.Fn, t.pkt.Key))
+		}
+		if !p.m.cfg.DisableCheckpoints {
+			p.store.Retain(pkt)
+			p.m.metrics.Checkpoints++
+			if p.m.tracing() {
+				p.m.log(p.id, trace.KCheckpoint, pkt.Key.String(), "")
+			}
+		}
+		chosen := p.route(t, pkt, cr, avoid)
+		if avoid != nil {
+			avoid[chosen] = true
+		}
+	}
+	t.unfilled++
+}
+
+// ancestorChain derives a child's ancestor addresses from its parent's
+// packet: [parent's parent, parent's grandparent, ...], truncated to
+// depth-1 entries (§5.2).
+func ancestorChain(parentPkt *proto.TaskPacket, depth int) []proto.Addr {
+	keep := depth - 1
+	if keep <= 0 {
+		return nil
+	}
+	chain := make([]proto.Addr, 0, keep)
+	if parentPkt.Parent.Proc != noProc {
+		chain = append(chain, parentPkt.Parent)
+	}
+	for _, a := range parentPkt.Ancestors {
+		if len(chain) >= keep {
+			break
+		}
+		chain = append(chain, a)
+	}
+	return chain
+}
+
+// route sends a packet toward its execution site and arms the placement-ack
+// timeout (Figure 6 state b: no ack means reissue). avoid lists processors
+// that replicas of the same demand already occupy; route makes a bounded
+// effort to pick elsewhere. It returns the chosen (first-hop) destination.
+func (p *proc) route(parent *task, pkt *proto.TaskPacket, cr *childRef, avoid map[proto.ProcID]bool) proto.ProcID {
+	cr.ackTimer.Stop()
+	cr.ackTimer = p.m.kernel.After(p.m.cfg.AckTimeout, func() {
+		p.onAckTimeout(parent, pkt, cr)
+	})
+	if cr.retries >= 3 && !p.isHost {
+		// Placement escape hatch: repeated unacknowledged placements mean
+		// the policy keeps choosing a destination that drops the packet or
+		// hosts a foreign incarnation of the same stamp (deterministic
+		// policies re-pick it forever). Scatter uniformly among live
+		// processors instead.
+		if dest := p.randomLive(); dest != p.id {
+			p.m.metrics.MsgTask++
+			p.m.send(&proto.Msg{Type: proto.MsgTask, From: p.id, To: dest, Task: pkt, Hops: 0})
+			return dest
+		}
+		p.settle(pkt)
+		return p.id
+	}
+	if p.m.cfg.Placement.Mode() == balance.Direct {
+		dest := p.m.cfg.Placement.PickDest(p, pkt.Key)
+		for tries := 0; avoid != nil && avoid[dest] && tries < 8; tries++ {
+			dest = p.m.cfg.Placement.PickDest(p, pkt.Key)
+		}
+		if dest == p.id && !p.isHost {
+			p.settle(pkt)
+			return dest
+		}
+		if p.isHost && (dest == p.id || dest == proto.HostID) {
+			dest = 0
+		}
+		p.m.metrics.MsgTask++
+		p.m.send(&proto.Msg{Type: proto.MsgTask, From: p.id, To: dest, Task: pkt, Hops: 0})
+		return dest
+	}
+	// Hop-by-hop (gradient): the host always hands off to processor 0.
+	if p.isHost {
+		p.m.metrics.MsgTask++
+		p.m.send(&proto.Msg{Type: proto.MsgTask, From: p.id, To: 0, Task: pkt, Hops: 0})
+		return 0
+	}
+	next := p.m.cfg.Placement.Step(p, 0)
+	if next == p.id {
+		p.settle(pkt)
+		return next
+	}
+	p.m.metrics.MsgTask++
+	p.m.send(&proto.Msg{Type: proto.MsgTask, From: p.id, To: next, Task: pkt, Hops: 1})
+	return next
+}
+
+// randomLive picks a uniformly random processor not believed faulty
+// (possibly this one).
+func (p *proc) randomLive() proto.ProcID {
+	live := make([]proto.ProcID, 0, p.m.n)
+	for i := 0; i < p.m.n; i++ {
+		if q := proto.ProcID(i); !p.faulty[q] {
+			live = append(live, q)
+		}
+	}
+	if len(live) == 0 {
+		return p.id
+	}
+	return live[p.m.kernel.Rand().Intn(len(live))]
+}
+
+// onAckTimeout fires when a spawned packet's placement was never
+// acknowledged: the packet is presumed lost in a failed processor and is
+// reissued ("processor G times out and reissues a new task P" — §4.3.2
+// state b).
+func (p *proc) onAckTimeout(parent *task, pkt *proto.TaskPacket, cr *childRef) {
+	if p.dead {
+		return
+	}
+	if t, ok := p.tasks[parent.pkt.Key]; !ok || t != parent || parent.state == taskAborted {
+		return
+	}
+	h, ok := parent.holes[pkt.HoleID]
+	if !ok || h.filled || cr.dest != checkpoint.PendingDest {
+		return
+	}
+	cr.retries++
+	if cr.retries > p.m.cfg.SpawnRetryLimit {
+		p.m.log(p.id, trace.KAbort, pkt.Key.String(), "placement retries exhausted")
+		return
+	}
+	p.m.log(p.id, trace.KSpawn, pkt.Key.String(), fmt.Sprintf("placement retry %d", cr.retries))
+	p.route(parent, pkt, cr, nil)
+}
+
+// settle installs a packet as a resident task and acknowledges placement to
+// the parent (Figure 6 state c: the parent "establishes a parent-to-child
+// pointer").
+func (p *proc) settle(pkt *proto.TaskPacket) {
+	if p.dead {
+		return
+	}
+	ack := &proto.Msg{
+		Type: proto.MsgTaskAck, From: p.id, To: pkt.Parent.Proc,
+		AckTask: pkt.Key, AckParent: pkt.Parent.Task, AckGen: pkt.Gen,
+		PlacedOn: p.id, AckHole: pkt.HoleID,
+	}
+	if existing, ok := p.tasks[pkt.Key]; ok && existing.state != taskAborted {
+		// A foreign incarnation of the same logical task already lives
+		// here (a reissue raced a slow original, or an orphan lineage
+		// still occupies the key). Keep the incumbent and acknowledge with
+		// its generation: the parent of a *different* incarnation will see
+		// the mismatch, ignore the ack, and eventually scatter its retry
+		// to another processor (see route's retry escape). Killing the
+		// incumbent here would be unsound — generation order says nothing
+		// about which lineage is the live one.
+		ack.AckGen = existing.pkt.Gen
+		p.m.metrics.MsgTaskAck++
+		p.m.send(ack)
+		return
+	}
+	t := newTask(pkt)
+	p.tasks[pkt.Key] = t
+	p.readyQ = append(p.readyQ, pkt.Key)
+	if p.m.tracing() {
+		note := ""
+		if pkt.Twin {
+			note = "twin"
+		} else if pkt.Reissue {
+			note = "reissue"
+		}
+		p.m.log(p.id, trace.KPlace, pkt.Key.String(), note)
+	}
+	p.m.metrics.MsgTaskAck++
+	p.m.send(ack)
+	p.maybeRun()
+}
+
+// onTaskMsg handles an arriving task packet: forward it (hop-by-hop
+// placement) or settle it here.
+func (p *proc) onTaskMsg(msg *proto.Msg) {
+	if p.isHost {
+		return // the host runs no program tasks
+	}
+	if p.m.cfg.Placement.Mode() == balance.HopByHop {
+		next := p.m.cfg.Placement.Step(p, msg.Hops)
+		if next != p.id {
+			p.m.metrics.MsgTask++
+			p.m.send(&proto.Msg{Type: proto.MsgTask, From: p.id, To: next, Task: msg.Task, Hops: msg.Hops + 1})
+			return
+		}
+	}
+	p.settle(msg.Task)
+}
+
+// onTaskAck records a child's placement: the parent now knows where its
+// functional checkpoint would need to be re-directed and where aborts go.
+func (p *proc) onTaskAck(msg *proto.Msg) {
+	t, ok := p.tasks[msg.AckParent]
+	if !ok || t.state == taskAborted {
+		// The parent is gone: the settled child is an orphan; kill exactly
+		// that incarnation (rollback GC). Under splice parents do not
+		// abort, so this is a rollback/none path.
+		if !p.faulty[msg.PlacedOn] {
+			p.m.send(&proto.Msg{
+				Type: proto.MsgAbort, From: p.id, To: msg.PlacedOn,
+				AbortTask: msg.AckTask, AbortGen: msg.AckGen,
+			})
+		}
+		return
+	}
+	h, ok := t.holes[msg.AckHole]
+	if !ok {
+		return
+	}
+	for _, cr := range h.children {
+		if cr.key == msg.AckTask {
+			if cr.gen != msg.AckGen {
+				// A stale incarnation settled somewhere; our current spawn
+				// is still in flight. Ignore — determinacy means the stale
+				// copy's result would be just as good if it arrives first.
+				return
+			}
+			cr.ackTimer.Stop()
+			cr.dest = msg.PlacedOn
+			break
+		}
+	}
+	p.store.Settle(msg.AckTask, msg.PlacedOn)
+	// Flush any orphan results buffered for a twin that just settled.
+	if buf, ok := p.relayBuf[msg.AckTask]; ok {
+		delete(p.relayBuf, msg.AckTask)
+		for _, res := range buf {
+			p.RelayToTwin(res)
+		}
+	}
+}
+
+// buildResult constructs the result record for a returning task.
+func (p *proc) buildResult(t *task) *proto.Result {
+	return &proto.Result{
+		Child:      t.pkt.Key,
+		ParentTask: t.pkt.Parent.Task,
+		HoleID:     t.pkt.HoleID,
+		Value:      t.value,
+		DeadParent: t.pkt.Parent,
+		Remaining:  append([]proto.Addr(nil), t.pkt.Ancestors...),
+	}
+}
+
+// sendResult returns a completed task's value to its parent, guarding the
+// delivery with the result-ack timeout.
+func (p *proc) sendResult(t *task) {
+	dest := t.pkt.Parent.Proc
+	if dest != proto.HostID && p.faulty[dest] {
+		// Known-dead parent: invoke the recovery policy directly.
+		p.policy.OnResultUndeliverable(p.buildResult(t))
+		return
+	}
+	res := &proto.Result{
+		Child: t.pkt.Key, ParentTask: t.pkt.Parent.Task,
+		HoleID: t.pkt.HoleID, Value: t.value,
+	}
+	p.m.metrics.MsgResult++
+	p.m.send(&proto.Msg{Type: proto.MsgResult, From: p.id, To: dest, Result: res})
+	t.resultTimer.Stop()
+	t.resultTimer = p.m.kernel.After(p.m.cfg.ResultTimeout, func() { p.onResultTimeout(t) })
+}
+
+// onResultTimeout: the parent never acknowledged. Retry a bounded number of
+// times, then declare the parent's processor failed and let the recovery
+// policy decide the orphan's fate.
+func (p *proc) onResultTimeout(t *task) {
+	if p.dead {
+		return
+	}
+	if cur, ok := p.tasks[t.pkt.Key]; !ok || cur != t || t.state != taskReturning {
+		return
+	}
+	t.resultTries++
+	if t.resultTries < p.m.cfg.ResultRetryLimit {
+		p.sendResult(t)
+		return
+	}
+	// Hand the orphan to the recovery policy before flooding the
+	// announcement: under splice the grandchild result then reaches the
+	// grandparent first, which creates the step-parent on demand — the
+	// lazy path of §4.2 ("Create a step-parent for the grandchild if there
+	// isn't one already"), case 4 of Figure 5.
+	parentProc := t.pkt.Parent.Proc
+	p.policy.OnResultUndeliverable(p.buildResult(t))
+	p.declareFaulty(parentProc)
+}
+
+// onResultMsg handles a result delivered to this processor: fill the
+// addressee's hole, vote if replicated, buffer as inheritance if the demand
+// has not been issued yet, ignore duplicates, reject unknowns (§4.2's
+// "forward result" / rule-of-thumb cases; Figure 5 cases 4–8).
+func (p *proc) onResultMsg(msg *proto.Msg) {
+	res := msg.Result
+	t, ok := p.tasks[res.ParentTask]
+	if !ok || t.state == taskAborted {
+		p.m.metrics.LateResults++
+		p.m.log(p.id, trace.KLateResult, res.Child.String(), "unknown addressee")
+		p.ackResult(msg.From, res.Child, false)
+		return
+	}
+	if t.isHostRoot && t.state != taskWaiting && t.state != taskReady && t.state != taskRunning {
+		p.ackResult(msg.From, res.Child, true)
+		return
+	}
+	h, ok := t.holes[res.HoleID]
+	if !ok {
+		// The demand has not been issued yet: this task is a twin running
+		// behind its predecessor; inherit the result (§4.1 case 4/5).
+		t.prefill[res.HoleID] = res.Value
+		if p.m.tracing() {
+			p.m.log(p.id, trace.KResult, res.Child.String(), fmt.Sprintf("inherited for hole %d", res.HoleID))
+		}
+		p.ackResult(msg.From, res.Child, true)
+		return
+	}
+	if h.filled {
+		p.m.metrics.DupResults++
+		p.m.log(p.id, trace.KDupResult, res.Child.String(), "already filled")
+		p.ackResult(msg.From, res.Child, true)
+		return
+	}
+	var cr *childRef
+	for _, c := range h.children {
+		if c.key == res.Child {
+			cr = c
+			break
+		}
+	}
+	if cr == nil {
+		// A result from an incarnation we did not spawn (e.g. relayed from
+		// an orphan of the pre-twin generation). Determinacy makes it as
+		// good as our own child's.
+		p.m.log(p.id, trace.KResult, res.Child.String(), "foreign incarnation accepted")
+		p.fillHole(t, h, res.Value)
+		p.ackResult(msg.From, res.Child, true)
+		return
+	}
+	if cr.returned {
+		p.m.metrics.DupResults++
+		p.ackResult(msg.From, res.Child, true)
+		return
+	}
+	cr.returned = true
+	cr.vote = res.Value
+	cr.ackTimer.Stop()
+	if len(h.children) == 1 {
+		p.fillHole(t, h, res.Value)
+		p.ackResult(msg.From, res.Child, true)
+		return
+	}
+	// Replicated hole: asynchronous majority voting (§5.3) — accept as soon
+	// as a majority of identical results has arrived; do not wait for the
+	// slowest replica.
+	if v, ok := h.majority(); ok {
+		mismatches := 0
+		for _, c := range h.children {
+			if c.returned && !c.vote.Equal(v) {
+				mismatches++
+			}
+		}
+		if mismatches > 0 {
+			p.m.metrics.VoteMismatches += int64(mismatches)
+			p.m.log(p.id, trace.KVoteMismatch, t.pkt.Key.String(),
+				fmt.Sprintf("hole %d: %d corrupt outvoted", h.id, mismatches))
+		}
+		p.m.metrics.Votes++
+		p.m.log(p.id, trace.KVote, t.pkt.Key.String(),
+			fmt.Sprintf("hole %d agreed on %s", h.id, v))
+		p.fillHole(t, h, v)
+	} else if h.returnedCount() == len(h.children) {
+		// All replicas answered without a majority (possible only with
+		// aggressive corruption): take the first answer, flagged loudly.
+		p.m.metrics.VoteMismatches++
+		p.m.log(p.id, trace.KVoteMismatch, t.pkt.Key.String(),
+			fmt.Sprintf("hole %d: no majority, taking first", h.id))
+		p.fillHole(t, h, h.children[0].vote)
+	}
+	p.ackResult(msg.From, res.Child, true)
+}
+
+// fillHole records the agreed value for a demand slot and wakes the task
+// when its last outstanding result arrives.
+func (p *proc) fillHole(t *task, h *holeRec, v expr.Value) {
+	h.filled = true
+	h.value = v
+	for _, c := range h.children {
+		c.ackTimer.Stop()
+		if p.store.Release(c.key) && p.m.tracing() {
+			p.m.log(p.id, trace.KCkptRelease, c.key.String(), "")
+		}
+	}
+	t.pendingFills[h.id] = v
+	t.unfilled--
+	if p.m.tracing() {
+		p.m.log(p.id, trace.KResult, t.pkt.Key.String(), fmt.Sprintf("hole %d := %s", h.id, v))
+	}
+	if t.unfilled == 0 && t.state == taskWaiting {
+		t.state = taskReady
+		p.readyQ = append(p.readyQ, t.pkt.Key)
+		p.maybeRun()
+	}
+}
+
+// ackResult acknowledges a result delivery.
+func (p *proc) ackResult(to proto.ProcID, child proto.TaskKey, ok bool) {
+	p.m.metrics.MsgResultAck++
+	p.m.send(&proto.Msg{Type: proto.MsgResultAck, From: p.id, To: to, AckChild: child, ResultOK: ok})
+}
+
+// onResultAck retires the returning task (delivery confirmed) or hands the
+// rejection to the recovery policy.
+func (p *proc) onResultAck(msg *proto.Msg) {
+	t, ok := p.tasks[msg.AckChild]
+	if !ok || t.state != taskReturning {
+		return
+	}
+	t.resultTimer.Stop()
+	if msg.ResultOK {
+		delete(p.tasks, msg.AckChild)
+		return
+	}
+	p.policy.OnResultRejected(p.buildResult(t))
+	// Whatever the policy did, the task cannot deliver its value; retire it.
+	if cur, ok := p.tasks[msg.AckChild]; ok && cur == t {
+		t.cancelTimers()
+		delete(p.tasks, msg.AckChild)
+	}
+}
+
+// onGrandResult handles an orphan result addressed to an ancestor task
+// resident here (§4.2 "grandchild" case).
+func (p *proc) onGrandResult(msg *proto.Msg) {
+	// Always acknowledge: grand results are never retried against a live
+	// processor (the rule of thumb: handle or ignore).
+	p.m.metrics.MsgResultAck++
+	p.m.send(&proto.Msg{Type: proto.MsgResultAck, From: p.id, To: msg.From, AckChild: msg.Result.Child, ResultOK: true})
+	p.policy.OnGrandResult(msg.Result)
+}
+
+// onAbort kills the victim incarnation and cascades.
+func (p *proc) onAbort(msg *proto.Msg) {
+	p.abortGen(msg.AbortTask, msg.AbortGen, msg.AbortScope, "abort cascade")
+}
+
+// --- failure detection ---
+
+// onFaultAnnounce merges flooded failure knowledge.
+func (p *proc) onFaultAnnounce(msg *proto.Msg) {
+	p.declareFaulty(msg.Failed)
+}
+
+// heartbeatTick probes neighbors and declares the silent ones.
+func (p *proc) heartbeatTick() {
+	if p.dead {
+		return
+	}
+	limit := p.m.cfg.HeartbeatEvery * sim.Time(p.m.cfg.HeartbeatMisses)
+	now := p.m.kernel.Now()
+	for _, nb := range p.neighbors {
+		if p.faulty[nb] {
+			continue
+		}
+		if last, ok := p.lastHeard[nb]; ok && now-last > limit {
+			p.declareFaulty(nb)
+			continue
+		}
+		p.m.metrics.MsgHeartbeat++
+		p.m.send(&proto.Msg{Type: proto.MsgHeartbeat, From: p.id, To: nb})
+	}
+	p.hbTimer = p.m.kernel.After(p.m.cfg.HeartbeatEvery, p.heartbeatTick)
+}
+
+func (p *proc) onHeartbeat(msg *proto.Msg) {
+	p.m.metrics.MsgHeartbeat++
+	p.m.send(&proto.Msg{Type: proto.MsgHeartbeatAck, From: p.id, To: msg.From})
+}
+
+func (p *proc) onHeartbeatAck(msg *proto.Msg) {
+	p.lastHeard[msg.From] = p.m.kernel.Now()
+}
+
+// --- gradient gossip ---
+
+// gossipTick broadcasts the local gradient value when it changes (§3.3's
+// gradient model substrate).
+func (p *proc) gossipTick() {
+	if p.dead {
+		return
+	}
+	if g, ok := p.m.cfg.Placement.(*balance.Gradient); ok {
+		val := g.LocalGradient(p)
+		if val != p.lastSentGrad {
+			p.lastSentGrad = val
+			for _, nb := range p.neighbors {
+				if !p.faulty[nb] {
+					p.m.metrics.MsgLoad++
+					p.m.send(&proto.Msg{Type: proto.MsgLoad, From: p.id, To: nb, LoadVal: val})
+				}
+			}
+		}
+	}
+	p.gossipTimer = p.m.kernel.After(p.m.cfg.LoadGossipEvery, p.gossipTick)
+}
+
+func (p *proc) onLoad(msg *proto.Msg) {
+	p.nbGrad[msg.From] = msg.LoadVal
+}
+
+// --- dispatch ---
+
+// handle dispatches a delivered message. Dead processors never reach here
+// (the machine drops their deliveries).
+func (p *proc) handle(msg *proto.Msg) {
+	switch msg.Type {
+	case proto.MsgTask:
+		p.onTaskMsg(msg)
+	case proto.MsgTaskAck:
+		p.onTaskAck(msg)
+	case proto.MsgResult:
+		p.onResultMsg(msg)
+	case proto.MsgResultAck:
+		p.onResultAck(msg)
+	case proto.MsgGrandResult:
+		p.onGrandResult(msg)
+	case proto.MsgAbort:
+		p.onAbort(msg)
+	case proto.MsgFaultAnnounce:
+		p.onFaultAnnounce(msg)
+	case proto.MsgHeartbeat:
+		p.onHeartbeat(msg)
+	case proto.MsgHeartbeatAck:
+		p.onHeartbeatAck(msg)
+	case proto.MsgLoad:
+		p.onLoad(msg)
+	default:
+		// §4.2 rule of thumb: "if a processor receives a packet and cannot
+		// find a proper rule to handle it, the processor simply ignores the
+		// received message."
+	}
+}
+
+// die makes the processor fail: it stops transmitting, loses all resident
+// tasks, and (if announced) floods a final declaration.
+func (p *proc) die(announced bool) {
+	if p.dead {
+		return
+	}
+	keys := p.ResidentTaskKeys()
+	for _, k := range keys {
+		t := p.tasks[k]
+		p.m.metrics.TasksLost++
+		p.m.metrics.StepsWasted += t.stepsSpent
+		t.cancelTimers()
+	}
+	if announced {
+		// The dying gasp (§1: "must voluntarily declare itself faulty").
+		for _, nb := range p.neighbors {
+			p.m.metrics.MsgFault++
+			p.m.send(&proto.Msg{Type: proto.MsgFaultAnnounce, From: p.id, To: nb, Failed: p.id})
+		}
+		if p.id != 0 {
+			p.m.metrics.MsgFault++
+			p.m.send(&proto.Msg{Type: proto.MsgFaultAnnounce, From: p.id, To: 0, Failed: p.id})
+		} else {
+			p.m.metrics.MsgFault++
+			p.m.send(&proto.Msg{Type: proto.MsgFaultAnnounce, From: p.id, To: proto.HostID, Failed: p.id})
+		}
+	}
+	p.dead = true
+	p.busy = false
+	p.tasks = make(map[proto.TaskKey]*task)
+	p.readyQ = nil
+	p.hbTimer.Stop()
+	p.gossipTimer.Stop()
+}
+
+// perturb corrupts a value the way a faulty node with bad arithmetic would.
+func perturb(v expr.Value) expr.Value {
+	switch x := v.(type) {
+	case expr.VInt:
+		return x + 1
+	case expr.VBool:
+		return !x
+	case expr.VStr:
+		return x + "?"
+	case expr.VList:
+		return x.Cons(expr.VInt(0))
+	default:
+		return v
+	}
+}
+
+func toNode(id proto.ProcID) nodeID { return nodeID(id) }

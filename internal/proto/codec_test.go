@@ -1,0 +1,152 @@
+package proto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+	"repro/internal/stamp"
+)
+
+func randomKey(r *rand.Rand) TaskKey {
+	s := stamp.Root()
+	for d := r.Intn(5); d > 0; d-- {
+		s = s.Child(uint32(r.Intn(6)))
+	}
+	return TaskKey{Stamp: s, Rep: Rep(r.Intn(4))}
+}
+
+func randomAddr(r *rand.Rand) Addr {
+	return Addr{Proc: ProcID(r.Intn(10) - 1), Task: randomKey(r)}
+}
+
+func randomPacket(r *rand.Rand) *TaskPacket {
+	p := &TaskPacket{
+		Key:       randomKey(r),
+		Gen:       r.Uint64(),
+		ParentGen: r.Uint64(),
+		Fn:        []string{"fib", "work", "n_3_17"}[r.Intn(3)],
+		Parent:    randomAddr(r),
+		HoleID:    r.Intn(16),
+		Twin:      r.Intn(2) == 0,
+		Reissue:   r.Intn(2) == 0,
+		Replicas:  1 + r.Intn(5),
+	}
+	for i := r.Intn(3); i > 0; i-- {
+		p.Args = append(p.Args, expr.VInt(r.Int63n(1000)))
+	}
+	if r.Intn(2) == 0 {
+		p.Args = append(p.Args, expr.IntList(1, 2, 3))
+	}
+	for i := r.Intn(3); i > 0; i-- {
+		p.Ancestors = append(p.Ancestors, randomAddr(r))
+	}
+	return p
+}
+
+func packetsEqual(a, b *TaskPacket) bool {
+	if a.Key != b.Key || a.Gen != b.Gen || a.ParentGen != b.ParentGen ||
+		a.Fn != b.Fn || a.Parent != b.Parent || a.HoleID != b.HoleID ||
+		a.Twin != b.Twin || a.Reissue != b.Reissue || a.Replicas != b.Replicas {
+		return false
+	}
+	if len(a.Args) != len(b.Args) || len(a.Ancestors) != len(b.Ancestors) {
+		return false
+	}
+	for i := range a.Args {
+		if !a.Args[i].Equal(b.Args[i]) {
+			return false
+		}
+	}
+	for i := range a.Ancestors {
+		if a.Ancestors[i] != b.Ancestors[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickPacketRoundTrip proves the packet is self-contained: it survives
+// a byte-level round trip with no external context — the property functional
+// checkpointing (§2.1) depends on when packets are stored on peer
+// processors.
+func TestQuickPacketRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	f := func() bool {
+		p := randomPacket(r)
+		buf := EncodePacket(p)
+		back, err := DecodePacket(buf)
+		if err != nil {
+			return false
+		}
+		return packetsEqual(p, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickResultRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	f := func() bool {
+		res := &Result{
+			Child:      randomKey(r),
+			ParentTask: randomKey(r),
+			HoleID:     r.Intn(8),
+			Value:      expr.VInt(r.Int63n(10_000)),
+			DeadParent: randomAddr(r),
+		}
+		for i := r.Intn(3); i > 0; i-- {
+			res.Remaining = append(res.Remaining, randomAddr(r))
+		}
+		buf := EncodeResult(res)
+		back, err := DecodeResult(buf)
+		if err != nil {
+			return false
+		}
+		if back.Child != res.Child || back.ParentTask != res.ParentTask ||
+			back.HoleID != res.HoleID || !back.Value.Equal(res.Value) ||
+			back.DeadParent != res.DeadParent || len(back.Remaining) != len(res.Remaining) {
+			return false
+		}
+		for i := range res.Remaining {
+			if back.Remaining[i] != res.Remaining[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	p := randomPacket(r)
+	buf := EncodePacket(p)
+	for cut := 0; cut < len(buf); cut += 3 {
+		if _, err := DecodePacket(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(buf))
+		}
+	}
+	if _, err := DecodePacket(append(buf, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestEncodedSizeUpperBoundsWireForm(t *testing.T) {
+	// EncodedSize is the cost-model estimate; the real wire form must stay
+	// in the same ballpark (within a small framing factor) so byte-based
+	// metrics are honest.
+	r := rand.New(rand.NewSource(24))
+	for i := 0; i < 200; i++ {
+		p := randomPacket(r)
+		est := p.EncodedSize()
+		real := len(EncodePacket(p))
+		if real > est*2 || est > real*2 {
+			t.Fatalf("estimate %d vs wire %d diverge too far", est, real)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/lang"
+	"repro/internal/proto"
+	"repro/internal/stamp"
+	"repro/internal/trace"
+)
+
+// Processor letters of Figure 1.
+const (
+	ProcA proto.ProcID = 0
+	ProcB proto.ProcID = 1
+	ProcC proto.ProcID = 2
+	ProcD proto.ProcID = 3
+)
+
+// Fig1Tree reconstructs the call tree of Figure 1. The paper prescribes:
+//
+//   - task Ai runs on processor A, Bi on B, etc. (§3);
+//   - "Processor A contains the functional checkpoint for B1, processor C
+//     contains checkpoints for B2, B3 and B5, and processor D contains
+//     checkpoints for B7" — so B1's parent is on A, B2/B3/B5's parents on C,
+//     B7's parent on D;
+//   - B5's checkpoint is held by task C4 and B5 is a genealogical dependent
+//     of B2 through antecedent A2 (§3: "antecedent task A2 cannot report its
+//     result to B2");
+//   - the grandparent pointer of B3 points to A1 and that of D4 to C1
+//     (Figure 2), so B3's parent is a child of A1 on C, and D4's parent is
+//     B2 whose parent is C1;
+//   - B2's offspring that survive are D4 and A2 (Figure 3);
+//   - failing B fragments the tree into {A1,C1,C2,C3,D3}, {A2,D1,D2,C4} and
+//     {D4,D5,A5}.
+func Fig1Tree() (*Tree, error) {
+	procs := map[string]proto.ProcID{
+		"A1": ProcA, "A2": ProcA, "A5": ProcA,
+		"B1": ProcB, "B2": ProcB, "B3": ProcB, "B5": ProcB, "B7": ProcB,
+		"C1": ProcC, "C2": ProcC, "C3": ProcC, "C4": ProcC,
+		"D1": ProcD, "D2": ProcD, "D3": ProcD, "D4": ProcD, "D5": ProcD,
+	}
+	rows := [][3]string{
+		{"A1", "", ""},
+		{"B1", "A1", ""},
+		{"C1", "A1", ""},
+		{"C2", "A1", ""},
+		{"B2", "C1", ""},
+		{"D4", "B2", ""},
+		{"A2", "B2", ""},
+		{"D5", "D4", ""},
+		{"A5", "D5", ""},
+		{"D1", "A2", ""},
+		{"D2", "A2", ""},
+		{"C4", "D2", ""},
+		{"B5", "C4", ""},
+		{"B3", "C2", ""},
+		{"C3", "C2", ""},
+		{"D3", "C3", ""},
+		{"B7", "D3", ""},
+	}
+	return NewTree(rows, procs)
+}
+
+// Fig1Result captures everything the Figure 1 rollback scenario observed.
+type Fig1Result struct {
+	// Completed and correct answer despite the failure of B.
+	Completed bool
+	Answer    string
+	// CheckpointHolders maps each B-task to the processor that held its
+	// functional checkpoint when B failed (§2.2's distribution).
+	CheckpointHolders map[string]proto.ProcID
+	// Reissued maps reissued task names to the reissuing processor.
+	Reissued map[string]proto.ProcID
+	// Suppressed lists checkpointed tasks NOT reissued (the B5 case).
+	Suppressed []string
+	// Fragments are the statically computed broken pieces.
+	Fragments [][]string
+	// FaultTime is the injected failure time.
+	FaultTime int64
+	// Metrics echoes the run counters.
+	Metrics trace.Metrics
+}
+
+// leafCostFig1 keeps leaves computing long enough that every task of the
+// figure is simultaneously resident when B fails.
+const leafCostFig1 = 3000
+
+// RunFig1Rollback executes the Figure 1 scenario under rollback recovery
+// (§3): build the tree, wait until the full tree is resident, fail B, and
+// observe the checkpoint distribution, the topmost reissues, and the B5
+// suppression.
+func RunFig1Rollback() (*Fig1Result, error) {
+	tree, err := Fig1Tree()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := tree.Program(leafCostFig1)
+	if err != nil {
+		return nil, err
+	}
+	names := tree.NameOf()
+
+	// Dry run: find when the whole tree is placed and when the first leaf
+	// completes; the fault goes between the two.
+	dryCfg, err := baseConfig(tree, 4, "rollback")
+	if err != nil {
+		return nil, err
+	}
+	dry, err := run(dryCfg, prog, "tA1", nil)
+	if err != nil {
+		return nil, err
+	}
+	lastPlace, firstComplete := int64(-1), int64(1<<62)
+	for _, e := range dry.Log.Events {
+		switch e.Kind {
+		case trace.KPlace:
+			if e.Time > lastPlace {
+				lastPlace = e.Time
+			}
+		case trace.KComplete:
+			if e.Time < firstComplete {
+				firstComplete = e.Time
+			}
+		}
+	}
+	if lastPlace < 0 || lastPlace >= firstComplete {
+		return nil, fmt.Errorf("scenario: no fault window (lastPlace=%d firstComplete=%d)", lastPlace, firstComplete)
+	}
+	faultAt := (lastPlace + firstComplete) / 2
+
+	// Real run: announced crash of processor B.
+	cfg, err := baseConfig(tree, 4, "rollback")
+	if err != nil {
+		return nil, err
+	}
+	rep, err := run(cfg, prog, "tA1", faults.Crash(ProcB, faultAt, true))
+	if err != nil {
+		return nil, err
+	}
+	want, err := lang.RefEval(prog, "tA1", nil)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig1Result{
+		Completed:         rep.Completed && rep.Answer != nil && rep.Answer.Equal(want),
+		CheckpointHolders: map[string]proto.ProcID{},
+		Reissued:          map[string]proto.ProcID{},
+		Fragments:         tree.Fragments(ProcB),
+		FaultTime:         faultAt,
+		Metrics:           rep.Metrics,
+	}
+	if rep.Answer != nil {
+		res.Answer = rep.Answer.String()
+	}
+	// Checkpoint holders at fault time: for each task pinned on B, the
+	// processor of its parent (who retains the packet).
+	for name, n := range tree.Nodes {
+		if n.Proc == ProcB && n.Parent != "" {
+			res.CheckpointHolders[name] = tree.Nodes[n.Parent].Proc
+		}
+	}
+	for _, e := range rep.Log.Events {
+		switch e.Kind {
+		case trace.KReissue:
+			if s, err2 := stamp.Parse(e.Task); err2 == nil {
+				if name, ok := names[s]; ok {
+					res.Reissued[name] = proto.ProcID(e.Proc)
+				}
+			}
+		case trace.KSuppress:
+			if s, err2 := stamp.Parse(e.Task); err2 == nil {
+				if name, ok := names[s]; ok {
+					res.Suppressed = append(res.Suppressed, name)
+				}
+			}
+		}
+	}
+	sort.Strings(res.Suppressed)
+	return res, nil
+}
+
+// Fig23Result captures the splice walk-through of Figures 2–3.
+type Fig23Result struct {
+	Completed bool
+	Answer    string
+	// Twinned maps twinned task names to the processor that created the
+	// step-parent (the parent task's processor).
+	Twinned map[string]proto.ProcID
+	// OrphanResults counts orphan results escalated to ancestors, Relayed
+	// the ones forwarded to twins, Prefills the inherited answers consumed
+	// without respawning, Dups the duplicate answers ignored.
+	OrphanResults, Relayed, Prefills, Dups int64
+	FaultTime                              int64
+	Metrics                                trace.Metrics
+}
+
+// RunFig23Splice executes Figures 2–3: the same tree and fault under splice
+// recovery. C1 must create twin B2′; the orphan results of B2's offspring
+// (D4, A2) must be relayed through their grandparent pointers and spliced
+// into the recovered structure.
+func RunFig23Splice() (*Fig23Result, error) {
+	tree, err := Fig1Tree()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := tree.Program(leafCostFig1)
+	if err != nil {
+		return nil, err
+	}
+	names := tree.NameOf()
+
+	dryCfg, err := baseConfig(tree, 4, "splice")
+	if err != nil {
+		return nil, err
+	}
+	dry, err := run(dryCfg, prog, "tA1", nil)
+	if err != nil {
+		return nil, err
+	}
+	lastPlace, firstComplete := int64(-1), int64(1<<62)
+	for _, e := range dry.Log.Events {
+		switch e.Kind {
+		case trace.KPlace:
+			if e.Time > lastPlace {
+				lastPlace = e.Time
+			}
+		case trace.KComplete:
+			if e.Time < firstComplete {
+				firstComplete = e.Time
+			}
+		}
+	}
+	if lastPlace < 0 || lastPlace >= firstComplete {
+		return nil, fmt.Errorf("scenario: no fault window")
+	}
+	faultAt := (lastPlace + firstComplete) / 2
+
+	cfg, err := baseConfig(tree, 4, "splice")
+	if err != nil {
+		return nil, err
+	}
+	rep, err := run(cfg, prog, "tA1", faults.Crash(ProcB, faultAt, true))
+	if err != nil {
+		return nil, err
+	}
+	want, err := lang.RefEval(prog, "tA1", nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig23Result{
+		Completed:     rep.Completed && rep.Answer != nil && rep.Answer.Equal(want),
+		Twinned:       map[string]proto.ProcID{},
+		OrphanResults: rep.Metrics.OrphanResults,
+		Relayed:       rep.Metrics.Relayed,
+		Prefills:      rep.Metrics.Prefills,
+		Dups:          rep.Metrics.DupResults,
+		FaultTime:     faultAt,
+		Metrics:       rep.Metrics,
+	}
+	if rep.Answer != nil {
+		res.Answer = rep.Answer.String()
+	}
+	for _, e := range rep.Log.Events {
+		if e.Kind == trace.KTwin {
+			if s, err2 := stamp.Parse(e.Task); err2 == nil {
+				if name, ok := names[s]; ok {
+					res.Twinned[name] = proto.ProcID(e.Proc)
+				}
+			}
+		}
+	}
+	return res, nil
+}

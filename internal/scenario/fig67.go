@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// Fig67Result is the outcome of failing P's processor at one of the seven
+// states of Figure 6 (spawning and reduction of task G → P → C).
+// §4.3.2's residue-freedom criterion: "A residue-free fault tolerant
+// measure must assure that tasks G and C are not affected by the failure of
+// P from state a through state g" — operationally, the program always
+// finishes with the correct answer.
+type Fig67Result struct {
+	State     byte   // 'a'..'g'
+	Scheme    string // rollback or splice
+	Desc      string
+	Completed bool
+	Answer    string
+	// PlacesP / PlacesC count placements of P's and C's stamps.
+	PlacesP, PlacesC int
+	// Recovered counts reissues (rollback) or twins (splice).
+	Recovered int64
+	// Aborted counts orphan suicides (§4.3.2 state d: "C commits suicide").
+	Aborted int64
+	FaultAt int64
+	Metrics trace.Metrics
+}
+
+// fig67Descs names the states per Figure 6.
+var fig67Descs = map[byte]string{
+	'a': "before P is spawned",
+	'b': "P's packet in flight, unacknowledged",
+	'c': "P settled and acknowledged, not yet running",
+	'd': "P running, C's packet in flight",
+	'e': "P running, C settled and computing",
+	'f': "C returned its result into P; P computing its tail",
+	'g': "P completed; its result already delivered to G",
+}
+
+// fig67Spec is the common micro-tree for the state scenarios: G has a
+// pre-pass (window for state a), P has distinct pre/post passes (windows
+// for d/e and f), C computes long enough to hit mid-flight windows, and a
+// filler pinned ahead of P provides the queued window for state c.
+func fig67Spec(state byte) gpcSpec {
+	sp := gpcSpec{gPre: 600, pPre: 500, pPost: 2500, cCost: 2500}
+	if state == 'c' {
+		// Filler ahead of P on P's processor keeps P queued (placed, not
+		// started).
+		sp.filler = 2000
+		sp.fillerFirst = true
+		sp.fillerOnP = true
+	}
+	return sp
+}
+
+// RunFig67State fails P's processor at state ('a'..'g') under the given
+// scheme ("rollback" or "splice") and reports the outcome.
+func RunFig67State(state byte, scheme string) (*Fig67Result, error) {
+	desc, ok := fig67Descs[state]
+	if !ok {
+		return nil, fmt.Errorf("scenario: Figure 6 has states a..g, not %q", state)
+	}
+	sp := fig67Spec(state)
+	t, err := sp.dryTimes(scheme)
+	if err != nil {
+		return nil, err
+	}
+	var faultAt int64
+	switch state {
+	case 'a':
+		// During G's pre-pass, before P's packet exists.
+		faultAt = t.spawnP / 2
+		if faultAt < 1 {
+			faultAt = 1
+		}
+	case 'b':
+		// Between P's spawn (packet sent) and its placement.
+		faultAt = t.spawnP + 1
+	case 'c':
+		// P is placed but queued behind the filler.
+		faultAt = t.placeP + 20
+	case 'd':
+		// Between C's spawn and C's placement.
+		faultAt = t.spawnC + 1
+	case 'e':
+		// While C computes remotely and P waits.
+		faultAt = (t.startC + t.completeC) / 2
+	case 'f':
+		// After C's result returned into P, during P's tail pass.
+		faultAt = (t.startP2 + t.completeP) / 2
+	case 'g':
+		// After P's result reached G.
+		faultAt = t.fillG + 10
+	}
+	rep, err := sp.runWithFault(scheme, true, 0, gpcProcP, faultAt, true)
+	if err != nil {
+		return nil, err
+	}
+	return sp.finish67(state, scheme, desc, rep, faultAt)
+}
+
+func (sp gpcSpec) finish67(state byte, scheme, desc string, rep *machine.Report, faultAt int64) (*Fig67Result, error) {
+	want, err := sp.expect()
+	if err != nil {
+		return nil, err
+	}
+	_, pS, cS, _ := sp.gpcStamps()
+	res := &Fig67Result{
+		State:     state,
+		Scheme:    scheme,
+		Desc:      desc,
+		Completed: rep.Completed && rep.Answer != nil && rep.Answer.Equal(want),
+		PlacesP:   countEvents(rep.Log, trace.KPlace, pS),
+		PlacesC:   countEvents(rep.Log, trace.KPlace, cS),
+		Recovered: rep.Metrics.Reissues + rep.Metrics.Twins,
+		Aborted:   rep.Metrics.TasksAborted,
+		FaultAt:   faultAt,
+		Metrics:   rep.Metrics,
+	}
+	if rep.Answer != nil {
+		res.Answer = rep.Answer.String()
+	}
+	return res, nil
+}

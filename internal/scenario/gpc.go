@@ -1,0 +1,286 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/balance"
+	"repro/internal/expr"
+	"repro/internal/faults"
+	"repro/internal/lang"
+	"repro/internal/machine"
+	"repro/internal/proto"
+	"repro/internal/recovery"
+	"repro/internal/sim"
+	"repro/internal/stamp"
+	"repro/internal/trace"
+)
+
+// The G→P→C micro-tree of §4.1 and §4.3.2: grandparent task G spawns parent
+// task P, which spawns child task C (Figure 4). Knobs control how long each
+// phase computes, which realizes every ordering of Figure 5 and every state
+// of Figure 6.
+//
+// Processor layout (complete topology):
+//
+//	0: G      1: P      2: C      3: filler      4,5: spares
+const (
+	gpcProcG      proto.ProcID = 0
+	gpcProcP      proto.ProcID = 1
+	gpcProcC      proto.ProcID = 2
+	gpcProcFiller proto.ProcID = 3
+	gpcSpare1     proto.ProcID = 4
+	gpcSpare2     proto.ProcID = 5
+	gpcProcs                   = 6
+)
+
+// gpcSpec parameterizes the micro-tree.
+type gpcSpec struct {
+	gPre        int  // G's pre-chain before demanding P
+	gPost       int  // G's final pass after all holes fill
+	pPre        int  // P's first pass (before demanding C)
+	pPost       int  // P's second pass (after C's result arrives)
+	cCost       int  // C's computation
+	filler      int  // extra G child pinned to gpcProcFiller (0 = none)
+	fillerFirst bool // filler demanded before P (so it queues ahead of C
+	// when both are pinned to the same processor)
+	fillerOnC bool // pin the filler onto C's processor (delays C's start)
+	fillerOnP bool // pin the filler onto P's processor (delays P's start)
+	cOnP      bool // pin C onto P's processor (case 2: C dies with P)
+	// cSeq overrides C's placement sequence (scripted placement, case 7).
+	cSeq []proto.ProcID
+	// pSeq overrides P's placement sequence.
+	pSeq []proto.ProcID
+}
+
+// gpcStamps returns the stamps of G, P, C and the filler under the spec.
+func (sp gpcSpec) gpcStamps() (g, p, c, filler stamp.Stamp) {
+	g = stamp.FromPath(0)
+	pIdx, fIdx := uint32(0), uint32(1)
+	if sp.filler > 0 && sp.fillerFirst {
+		pIdx, fIdx = 1, 0
+	}
+	p = g.Child(pIdx)
+	c = p.Child(0)
+	filler = g.Child(fIdx)
+	return
+}
+
+// program builds the G/P/C lang program for the spec.
+func (sp gpcSpec) program() (*lang.Program, error) {
+	pCall := expr.Call("p")
+	var gBody expr.Expr
+	switch {
+	case sp.filler > 0 && sp.fillerFirst:
+		gBody = expr.Op("+", expr.Call("fil"), pCall)
+	case sp.filler > 0:
+		gBody = expr.Op("+", pCall, expr.Call("fil"))
+	default:
+		gBody = expr.Op("+", expr.Int(0), pCall)
+	}
+	if sp.gPost > 0 {
+		// Post-work: a Let keeps the tail chain unreduced until the demands
+		// of the bind fill, giving G a second compute pass.
+		gBody = expr.LetIn("s", gBody, expr.Op("+", chain(sp.gPost), expr.V("s")))
+	}
+	if sp.gPre > 0 {
+		gBody = expr.LetIn("gpre", chain(sp.gPre), expr.Op("+", gBody, expr.Op("*", expr.Int(0), expr.V("gpre"))))
+	}
+	pBody := expr.LetIn("pre", chain(sp.pPre),
+		expr.LetIn("x", expr.Call("c"),
+			expr.Op("+", chain(sp.pPost), expr.Op("+", expr.V("x"), expr.V("pre")))))
+	defs := []lang.FuncDef{
+		{Name: "g", Body: gBody},
+		{Name: "p", Body: pBody},
+		{Name: "c", Body: chain(sp.cCost)},
+	}
+	if sp.filler > 0 {
+		defs = append(defs, lang.FuncDef{Name: "fil", Body: chain(sp.filler)})
+	}
+	return lang.NewProgram(defs...)
+}
+
+// placement builds the placement policy for the spec.
+func (sp gpcSpec) placement() balance.Policy {
+	gS, pS, cS, fS := sp.gpcStamps()
+	if sp.cSeq != nil || sp.pSeq != nil {
+		seq := map[string][]proto.ProcID{
+			gS.Key(): {gpcProcG},
+			pS.Key(): {gpcProcP},
+			cS.Key(): {gpcProcC},
+			fS.Key(): {gpcProcFiller},
+		}
+		if sp.cOnP {
+			seq[cS.Key()] = []proto.ProcID{gpcProcP}
+		}
+		if sp.fillerOnC {
+			seq[fS.Key()] = []proto.ProcID{gpcProcC}
+		}
+		if sp.fillerOnP {
+			seq[fS.Key()] = []proto.ProcID{gpcProcP}
+		}
+		if sp.pSeq != nil {
+			seq[pS.Key()] = sp.pSeq
+		}
+		if sp.cSeq != nil {
+			seq[cS.Key()] = sp.cSeq
+		}
+		return newScripted(seq, balance.NewRandom())
+	}
+	pin := map[string]proto.ProcID{
+		gS.Key(): gpcProcG,
+		pS.Key(): gpcProcP,
+		cS.Key(): gpcProcC,
+		fS.Key(): gpcProcFiller,
+	}
+	if sp.cOnP {
+		pin[cS.Key()] = gpcProcP
+	}
+	if sp.fillerOnC {
+		pin[fS.Key()] = gpcProcC
+	}
+	if sp.fillerOnP {
+		pin[fS.Key()] = gpcProcP
+	}
+	return balance.NewPinned(pin, balance.NewRandom())
+}
+
+// scripted is a placement policy that consumes a per-stamp sequence of
+// destinations: the n-th placement request for a stamp goes to the n-th
+// processor of its sequence (the last entry repeats). It lets a scenario
+// place a task's re-incarnation somewhere other than the original — e.g.
+// Figure 5 case 7, where the twin's child must run on an idle processor
+// while the original crawls behind a filler.
+type scripted struct {
+	seq      map[string][]proto.ProcID
+	used     map[string]int
+	fallback balance.Policy
+}
+
+func newScripted(seq map[string][]proto.ProcID, fallback balance.Policy) *scripted {
+	return &scripted{seq: seq, used: map[string]int{}, fallback: fallback}
+}
+
+func (s *scripted) Name() string       { return "scripted" }
+func (s *scripted) Mode() balance.Mode { return balance.Direct }
+
+func (s *scripted) PickDest(v balance.View, key proto.TaskKey) proto.ProcID {
+	if list, ok := s.seq[key.Stamp.Key()]; ok && len(list) > 0 {
+		i := s.used[key.Stamp.Key()]
+		s.used[key.Stamp.Key()]++
+		if i >= len(list) {
+			i = len(list) - 1
+		}
+		if d := list[i]; !v.IsFaulty(d) {
+			return d
+		}
+	}
+	return s.fallback.PickDest(v, key)
+}
+
+func (s *scripted) Step(v balance.View, hops int) proto.ProcID {
+	return s.fallback.Step(v, hops)
+}
+
+// gpcConfig assembles a machine config for the spec.
+func (sp gpcSpec) config(scheme string, heartbeats bool, resultRetries int) (machine.Config, error) {
+	sch, err := recovery.ByName(scheme)
+	if err != nil {
+		return machine.Config{}, err
+	}
+	cfg := machine.Config{
+		Topo:      completeTopo(gpcProcs),
+		Placement: sp.placement(),
+		Scheme:    sch,
+		Seed:      1,
+		Trace:     trace.NewLog(0),
+	}
+	if !heartbeats {
+		cfg.HeartbeatEvery = -1
+	}
+	if resultRetries > 0 {
+		cfg.ResultRetryLimit = resultRetries
+	}
+	return cfg, nil
+}
+
+// gpcTimes extracts the reference timeline from a dry (fault-free) run.
+type gpcTimes struct {
+	spawnP, placeP, startP    int64
+	spawnC, placeC, startC    int64
+	completeC, startP2        int64
+	completeP, fillG, doneAll int64
+}
+
+func (sp gpcSpec) dryTimes(scheme string) (*gpcTimes, error) {
+	cfg, err := sp.config(scheme, true, 0)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := sp.program()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := run(cfg, prog, "g", nil)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Completed {
+		return nil, fmt.Errorf("scenario: dry run did not complete")
+	}
+	_, pS, cS, _ := sp.gpcStamps()
+	gS := stamp.FromPath(0)
+	t := &gpcTimes{
+		spawnP:    eventTime(rep.Log, trace.KSpawn, pS),
+		placeP:    eventTime(rep.Log, trace.KPlace, pS),
+		startP:    nthEventTime(rep.Log, trace.KStart, pS, 1),
+		spawnC:    eventTime(rep.Log, trace.KSpawn, cS),
+		placeC:    eventTime(rep.Log, trace.KPlace, cS),
+		startC:    nthEventTime(rep.Log, trace.KStart, cS, 1),
+		completeC: eventTime(rep.Log, trace.KComplete, cS),
+		startP2:   nthEventTime(rep.Log, trace.KStart, pS, 2),
+		completeP: eventTime(rep.Log, trace.KComplete, pS),
+		fillG:     eventTime(rep.Log, trace.KResult, gS),
+		doneAll:   int64(rep.Makespan),
+	}
+	return t, nil
+}
+
+// nthEventTime returns the time of the n-th (1-based) event of the given
+// kind for the stamp, or -1.
+func nthEventTime(log *trace.Log, kind trace.Kind, s stamp.Stamp, n int) int64 {
+	label := s.String()
+	seen := 0
+	for _, e := range log.Events {
+		if e.Kind == kind && e.Task == label {
+			seen++
+			if seen == n {
+				return e.Time
+			}
+		}
+	}
+	return -1
+}
+
+// gpcExpect computes the correct final answer for the spec.
+func (sp gpcSpec) expect() (expr.Value, error) {
+	prog, err := sp.program()
+	if err != nil {
+		return nil, err
+	}
+	return lang.RefEval(prog, "g", nil)
+}
+
+// runWithFault executes the spec with a crash of proc at time at.
+func (sp gpcSpec) runWithFault(scheme string, heartbeats bool, resultRetries int,
+	proc proto.ProcID, at int64, announced bool) (*machine.Report, error) {
+	cfg, err := sp.config(scheme, heartbeats, resultRetries)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := sp.program()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Deadline = sim.Time(4_000_000)
+	return run(cfg, prog, "g", faults.Crash(proc, at, announced))
+}

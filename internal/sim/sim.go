@@ -1,0 +1,237 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// a virtual clock, an event heap with stable tie-breaking, and cancellable
+// timers. Every behaviour of the simulated multiprocessor is a function of
+// (configuration, seed), which is what makes the recovery protocols testable
+// — the paper's eight completion orderings (Figure 5) and seven spawn states
+// (Figure 6) are reproduced by steering event timing, not by racing real
+// goroutines.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is virtual time in abstract ticks.
+type Time int64
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // FIFO tie-break for equal times
+	fn   func()
+	dead bool // cancelled
+	idx  int  // heap index
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer if it has not fired. It reports whether the call
+// prevented the event from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	t.ev.fn = nil
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool { return t != nil && t.ev != nil && !t.ev.dead }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is the event loop. It is not safe for concurrent use; the entire
+// simulation is single-threaded and deterministic.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	stopped bool
+	// processed counts dispatched events, as a runaway guard and a
+	// determinism fingerprint for tests.
+	processed uint64
+}
+
+// NewKernel creates a kernel with the given RNG seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic RNG.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Processed returns the number of events dispatched so far.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// At schedules fn at absolute time t (>= Now) and returns a cancellable
+// handle. Scheduling in the past panics: it is always a simulator bug.
+func (k *Kernel) At(t Time, fn func()) *Timer {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, k.now))
+	}
+	ev := &event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn d ticks from now.
+func (k *Kernel) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// remain queued (they are simply never dispatched).
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Pending reports the number of live (non-cancelled) queued events.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, ev := range k.events {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Run dispatches events in (time, seq) order until the queue is empty,
+// Stop is called, or maxEvents events have been processed (0 = unlimited).
+// It returns the reason the loop ended.
+func (k *Kernel) Run(maxEvents uint64) RunResult {
+	k.stopped = false
+	dispatched := uint64(0)
+	for len(k.events) > 0 {
+		if k.stopped {
+			return RunStopped
+		}
+		if maxEvents > 0 && dispatched >= maxEvents {
+			return RunBudgetExhausted
+		}
+		ev := heap.Pop(&k.events).(*event)
+		if ev.dead {
+			continue
+		}
+		if ev.at < k.now {
+			panic("sim: time went backwards")
+		}
+		k.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		k.processed++
+		dispatched++
+		fn()
+	}
+	if k.stopped {
+		return RunStopped
+	}
+	return RunQuiescent
+}
+
+// RunUntil dispatches events with timestamps <= deadline, then returns.
+// Events beyond the deadline stay queued; Now advances to at most deadline.
+// maxEvents bounds the number of dispatched events (0 = unlimited).
+func (k *Kernel) RunUntil(deadline Time, maxEvents uint64) RunResult {
+	k.stopped = false
+	dispatched := uint64(0)
+	for len(k.events) > 0 {
+		if k.stopped {
+			return RunStopped
+		}
+		if maxEvents > 0 && dispatched >= maxEvents {
+			return RunBudgetExhausted
+		}
+		next := k.events[0]
+		if next.dead {
+			heap.Pop(&k.events)
+			continue
+		}
+		if next.at > deadline {
+			if k.now < deadline {
+				k.now = deadline
+			}
+			return RunDeadline
+		}
+		ev := heap.Pop(&k.events).(*event)
+		k.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		k.processed++
+		dispatched++
+		fn()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	if k.stopped {
+		return RunStopped
+	}
+	return RunQuiescent
+}
+
+// RunResult says why a Run call returned.
+type RunResult int
+
+// Run termination reasons.
+const (
+	// RunQuiescent: the event queue drained completely.
+	RunQuiescent RunResult = iota
+	// RunStopped: Stop was called from inside an event.
+	RunStopped
+	// RunBudgetExhausted: maxEvents events were dispatched.
+	RunBudgetExhausted
+	// RunDeadline: RunUntil reached its deadline with events pending.
+	RunDeadline
+)
+
+func (r RunResult) String() string {
+	switch r {
+	case RunQuiescent:
+		return "quiescent"
+	case RunStopped:
+		return "stopped"
+	case RunBudgetExhausted:
+		return "budget-exhausted"
+	case RunDeadline:
+		return "deadline"
+	default:
+		return fmt.Sprintf("RunResult(%d)", int(r))
+	}
+}

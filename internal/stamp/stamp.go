@@ -1,0 +1,234 @@
+// Package stamp implements the hierarchical level stamps of §3.1 of
+// Lin & Keller, "Distributed Recovery in Applicative Systems" (ICPP 1986).
+//
+// The root task carries a null (empty) stamp; a task at level one bears a
+// one-component identification, and tasks at subsequent levels are stamped
+// by appending one more component to the stamp of their parent. The paper
+// uses the term "digit" generically; we use unsigned 32-bit components so
+// fan-out is effectively unbounded.
+//
+// A stamp is stored as a fixed-width big-endian byte string, which makes
+// stamps comparable with ==, usable as map keys, totally ordered by the
+// ordinary string comparison (which coincides with component-wise numeric
+// comparison), and ancestor checks become prefix tests. Uniqueness is
+// guaranteed by the program structure, not by time: stamping is fully
+// asynchronous, exactly as §3.1 requires.
+package stamp
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// width is the encoded byte width of one stamp component.
+const width = 4
+
+// Stamp identifies a task by its path from the root of the call tree.
+// The zero value is the root stamp.
+type Stamp struct {
+	// p holds the big-endian concatenation of the path components.
+	p string
+}
+
+// Root returns the stamp of the root task (the null level number).
+func Root() Stamp { return Stamp{} }
+
+// Child returns the stamp obtained by appending component i, i.e. the stamp
+// of this task's i-th spawned child.
+func (s Stamp) Child(i uint32) Stamp {
+	var b [width]byte
+	b[0] = byte(i >> 24)
+	b[1] = byte(i >> 16)
+	b[2] = byte(i >> 8)
+	b[3] = byte(i)
+	return Stamp{p: s.p + string(b[:])}
+}
+
+// Level reports the depth of the task in the call tree; the root is level 0.
+func (s Stamp) Level() int { return len(s.p) / width }
+
+// IsRoot reports whether s is the root stamp.
+func (s Stamp) IsRoot() bool { return len(s.p) == 0 }
+
+// Component returns the k-th path component (0-based). It panics if k is out
+// of range, mirroring slice indexing semantics.
+func (s Stamp) Component(k int) uint32 {
+	if k < 0 || k >= s.Level() {
+		panic(fmt.Sprintf("stamp: component %d out of range for level %d", k, s.Level()))
+	}
+	o := k * width
+	return uint32(s.p[o])<<24 | uint32(s.p[o+1])<<16 | uint32(s.p[o+2])<<8 | uint32(s.p[o+3])
+}
+
+// Last returns the final path component, which is the hole (demand) index
+// within the parent task that this task's result fills. It panics on the
+// root stamp.
+func (s Stamp) Last() uint32 { return s.Component(s.Level() - 1) }
+
+// Parent returns the stamp of the parent task. It panics on the root stamp.
+func (s Stamp) Parent() Stamp {
+	if s.IsRoot() {
+		panic("stamp: root has no parent")
+	}
+	return Stamp{p: s.p[:len(s.p)-width]}
+}
+
+// IsAncestorOf reports whether s is a proper ancestor of t: s lies strictly
+// above t on the path from the root. Every stamp is an ancestor of its
+// descendants but not of itself.
+func (s Stamp) IsAncestorOf(t Stamp) bool {
+	return len(s.p) < len(t.p) && strings.HasPrefix(t.p, s.p)
+}
+
+// IsDescendantOf reports whether s is a proper descendant of t.
+func (s Stamp) IsDescendantOf(t Stamp) bool { return t.IsAncestorOf(s) }
+
+// Related reports whether s and t lie on one root-to-leaf path (equal,
+// ancestor, or descendant).
+func (s Stamp) Related(t Stamp) bool {
+	return s == t || s.IsAncestorOf(t) || t.IsAncestorOf(s)
+}
+
+// Compare totally orders stamps: ancestors sort before their descendants and
+// siblings sort by component value, i.e. preorder over the call tree.
+// It returns -1, 0, or +1.
+func (s Stamp) Compare(t Stamp) int { return strings.Compare(s.p, t.p) }
+
+// CommonAncestor returns the deepest stamp that is an ancestor of (or equal
+// to) both s and t.
+func (s Stamp) CommonAncestor(t Stamp) Stamp {
+	n := min(len(s.p), len(t.p))
+	k := 0
+	for k+width <= n && s.p[k:k+width] == t.p[k:k+width] {
+		k += width
+	}
+	return Stamp{p: s.p[:k]}
+}
+
+// String renders the stamp as dot-separated components; the root renders as
+// "ε" to keep logs readable.
+func (s Stamp) String() string {
+	if s.IsRoot() {
+		return "ε"
+	}
+	var b strings.Builder
+	for k := 0; k < s.Level(); k++ {
+		if k > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.FormatUint(uint64(s.Component(k)), 10))
+	}
+	return b.String()
+}
+
+// Key returns the raw encoded path. It is intended for use as a compact map
+// key or wire field; Decode inverts it.
+func (s Stamp) Key() string { return s.p }
+
+// EncodedSize returns the number of bytes Key occupies on the wire.
+func (s Stamp) EncodedSize() int { return len(s.p) }
+
+// Decode reconstructs a stamp from the raw form produced by Key.
+func Decode(raw string) (Stamp, error) {
+	if len(raw)%width != 0 {
+		return Stamp{}, fmt.Errorf("stamp: raw length %d is not a multiple of %d", len(raw), width)
+	}
+	return Stamp{p: raw}, nil
+}
+
+// Parse parses the textual form produced by String ("ε" or "1.0.2").
+func Parse(text string) (Stamp, error) {
+	if text == "ε" || text == "" {
+		return Root(), nil
+	}
+	s := Root()
+	for _, part := range strings.Split(text, ".") {
+		v, err := strconv.ParseUint(part, 10, 32)
+		if err != nil {
+			return Stamp{}, fmt.Errorf("stamp: bad component %q: %w", part, err)
+		}
+		s = s.Child(uint32(v))
+	}
+	return s, nil
+}
+
+// Path returns the components of the stamp as a fresh slice.
+func (s Stamp) Path() []uint32 {
+	out := make([]uint32, s.Level())
+	for k := range out {
+		out[k] = s.Component(k)
+	}
+	return out
+}
+
+// FromPath builds a stamp from explicit path components.
+func FromPath(path ...uint32) Stamp {
+	s := Root()
+	for _, c := range path {
+		s = s.Child(c)
+	}
+	return s
+}
+
+// ErrNotAntichain is reported by VerifyAntichain when two stamps in a set
+// are related.
+var ErrNotAntichain = errors.New("stamp: set contains related stamps")
+
+// Topmost returns the minimal antichain covering the given stamps: every
+// input stamp is either in the result or a descendant of a result element,
+// and no result element is an ancestor of another. This is the "topmost
+// checkpoint" computation of §3.2: recovery redoes only the most ancient
+// ancestors and ignores the rest. The result is sorted in preorder.
+func Topmost(stamps []Stamp) []Stamp {
+	if len(stamps) == 0 {
+		return nil
+	}
+	sorted := make([]Stamp, len(stamps))
+	copy(sorted, stamps)
+	sortStamps(sorted)
+	out := sorted[:0]
+	for _, s := range sorted {
+		if len(out) > 0 {
+			last := out[len(out)-1]
+			if last == s || last.IsAncestorOf(s) {
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// VerifyAntichain returns ErrNotAntichain if any two stamps in the set are
+// equal or related, and nil otherwise.
+func VerifyAntichain(stamps []Stamp) error {
+	sorted := make([]Stamp, len(stamps))
+	copy(sorted, stamps)
+	sortStamps(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] == sorted[i] || sorted[i-1].IsAncestorOf(sorted[i]) {
+			return fmt.Errorf("%w: %v and %v", ErrNotAntichain, sorted[i-1], sorted[i])
+		}
+	}
+	return nil
+}
+
+// sortStamps sorts in preorder (lexicographic on the encoded path).
+func sortStamps(stamps []Stamp) {
+	// Insertion sort is fine for the small sets used per destination entry,
+	// but use an explicit shell gap sequence to stay linearithmic on the
+	// larger sets produced by failure-time scans.
+	n := len(stamps)
+	for gap := n / 2; gap > 0; gap /= 2 {
+		for i := gap; i < n; i++ {
+			for j := i; j >= gap && stamps[j-gap].Compare(stamps[j]) > 0; j -= gap {
+				stamps[j-gap], stamps[j] = stamps[j], stamps[j-gap]
+			}
+		}
+	}
+}
+
+// Sort sorts stamps in preorder, in place.
+func Sort(stamps []Stamp) { sortStamps(stamps) }

@@ -1,0 +1,362 @@
+package stamp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRootProperties(t *testing.T) {
+	r := Root()
+	if !r.IsRoot() {
+		t.Fatal("Root() is not root")
+	}
+	if r.Level() != 0 {
+		t.Fatalf("root level = %d, want 0", r.Level())
+	}
+	if r.String() != "ε" {
+		t.Fatalf("root String = %q", r.String())
+	}
+	if got := (Stamp{}); got != r {
+		t.Fatal("zero value differs from Root()")
+	}
+}
+
+func TestChildAndParent(t *testing.T) {
+	s := Root().Child(3).Child(0).Child(7)
+	if s.Level() != 3 {
+		t.Fatalf("level = %d, want 3", s.Level())
+	}
+	if s.String() != "3.0.7" {
+		t.Fatalf("String = %q, want 3.0.7", s.String())
+	}
+	if s.Last() != 7 {
+		t.Fatalf("Last = %d, want 7", s.Last())
+	}
+	p := s.Parent()
+	if p.String() != "3.0" {
+		t.Fatalf("Parent = %q, want 3.0", p.String())
+	}
+	if got := s.Component(1); got != 0 {
+		t.Fatalf("Component(1) = %d, want 0", got)
+	}
+}
+
+func TestParentOfRootPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Parent of root did not panic")
+		}
+	}()
+	Root().Parent()
+}
+
+func TestComponentOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Component out of range did not panic")
+		}
+	}()
+	Root().Child(1).Component(1)
+}
+
+func TestAncestry(t *testing.T) {
+	root := Root()
+	a := root.Child(1)
+	b := a.Child(2)
+	c := a.Child(3)
+	cases := []struct {
+		anc, desc Stamp
+		want      bool
+	}{
+		{root, a, true},
+		{root, b, true},
+		{a, b, true},
+		{a, c, true},
+		{b, c, false},
+		{c, b, false},
+		{a, a, false}, // proper ancestry only
+		{b, a, false},
+		{b, root, false},
+	}
+	for _, tc := range cases {
+		if got := tc.anc.IsAncestorOf(tc.desc); got != tc.want {
+			t.Errorf("IsAncestorOf(%v, %v) = %v, want %v", tc.anc, tc.desc, got, tc.want)
+		}
+		if got := tc.desc.IsDescendantOf(tc.anc); got != tc.want {
+			t.Errorf("IsDescendantOf(%v, %v) = %v, want %v", tc.desc, tc.anc, got, tc.want)
+		}
+	}
+	if !a.Related(b) || !b.Related(a) || !a.Related(a) {
+		t.Error("Related on one path should hold")
+	}
+	if b.Related(c) {
+		t.Error("siblings must not be related")
+	}
+}
+
+func TestCompareIsPreorder(t *testing.T) {
+	// Ancestors sort before descendants; siblings sort by component.
+	a := FromPath(1)
+	ab := FromPath(1, 0)
+	b := FromPath(2)
+	if a.Compare(ab) >= 0 {
+		t.Error("ancestor must sort before descendant")
+	}
+	if ab.Compare(b) >= 0 {
+		t.Error("1.0 must sort before 2")
+	}
+	if a.Compare(a) != 0 {
+		t.Error("Compare(x,x) != 0")
+	}
+	// Component-wise numeric order must be respected even when encodings
+	// have multi-byte components.
+	lo := FromPath(255)
+	hi := FromPath(256)
+	if lo.Compare(hi) >= 0 {
+		t.Error("255 must sort before 256")
+	}
+}
+
+func TestCommonAncestor(t *testing.T) {
+	a := FromPath(1, 2, 3)
+	b := FromPath(1, 2, 4, 5)
+	if got := a.CommonAncestor(b); got != FromPath(1, 2) {
+		t.Fatalf("CommonAncestor = %v, want 1.2", got)
+	}
+	if got := a.CommonAncestor(a); got != a {
+		t.Fatalf("CommonAncestor(x,x) = %v, want %v", got, a)
+	}
+	c := FromPath(9)
+	if got := a.CommonAncestor(c); !got.IsRoot() {
+		t.Fatalf("CommonAncestor across branches = %v, want root", got)
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	cases := []Stamp{
+		Root(),
+		FromPath(0),
+		FromPath(1, 2, 3),
+		FromPath(4294967295, 0, 77),
+	}
+	for _, s := range cases {
+		back, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s.String(), err)
+		}
+		if back != s {
+			t.Errorf("roundtrip %v -> %q -> %v", s, s.String(), back)
+		}
+	}
+	if _, err := Parse("1.x.2"); err == nil {
+		t.Error("Parse accepted garbage component")
+	}
+}
+
+func TestKeyDecodeRoundTrip(t *testing.T) {
+	s := FromPath(7, 0, 9, 123456)
+	back, err := Decode(s.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("Decode(Key) = %v, want %v", back, s)
+	}
+	if _, err := Decode("abc"); err == nil {
+		t.Error("Decode accepted misaligned raw input")
+	}
+	if s.EncodedSize() != 16 {
+		t.Errorf("EncodedSize = %d, want 16", s.EncodedSize())
+	}
+}
+
+func TestPathRoundTrip(t *testing.T) {
+	in := []uint32{5, 0, 2, 1 << 30}
+	s := FromPath(in...)
+	out := s.Path()
+	if len(out) != len(in) {
+		t.Fatalf("Path length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("Path[%d] = %d, want %d", i, out[i], in[i])
+		}
+	}
+}
+
+func TestTopmost(t *testing.T) {
+	b2 := FromPath(0, 1)          // "B2"
+	b3 := FromPath(0, 2)          // "B3"
+	b5 := FromPath(0, 1, 0, 2, 0) // descendant of B2: the paper's B5 case
+	got := Topmost([]Stamp{b5, b3, b2})
+	if len(got) != 2 || got[0] != b2 || got[1] != b3 {
+		t.Fatalf("Topmost = %v, want [%v %v]", got, b2, b3)
+	}
+	if err := VerifyAntichain(got); err != nil {
+		t.Fatalf("Topmost result is not an antichain: %v", err)
+	}
+	if Topmost(nil) != nil {
+		t.Error("Topmost(nil) should be nil")
+	}
+	// Duplicates collapse.
+	got = Topmost([]Stamp{b2, b2})
+	if len(got) != 1 {
+		t.Fatalf("Topmost with duplicates = %v", got)
+	}
+}
+
+func TestVerifyAntichain(t *testing.T) {
+	if err := VerifyAntichain([]Stamp{FromPath(1), FromPath(2)}); err != nil {
+		t.Fatalf("independent stamps rejected: %v", err)
+	}
+	if err := VerifyAntichain([]Stamp{FromPath(1), FromPath(1, 0)}); err == nil {
+		t.Fatal("related stamps accepted")
+	}
+	if err := VerifyAntichain([]Stamp{FromPath(1), FromPath(1)}); err == nil {
+		t.Fatal("duplicate stamps accepted")
+	}
+}
+
+// randomStamp builds a stamp with level in [0,6] and small components so
+// collisions and ancestor relations actually occur under quick.
+func randomStamp(r *rand.Rand) Stamp {
+	s := Root()
+	for lvl := r.Intn(7); lvl > 0; lvl-- {
+		s = s.Child(uint32(r.Intn(4)))
+	}
+	return s
+}
+
+func TestQuickAncestorIffPrefixPath(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a, b := randomStamp(r), randomStamp(r)
+		pa, pb := a.Path(), b.Path()
+		isPrefix := len(pa) < len(pb)
+		if isPrefix {
+			for i := range pa {
+				if pa[i] != pb[i] {
+					isPrefix = false
+					break
+				}
+			}
+		}
+		return a.IsAncestorOf(b) == isPrefix
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompareMatchesPathOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	less := func(a, b []uint32) int {
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				if a[i] < b[i] {
+					return -1
+				}
+				return 1
+			}
+		}
+		switch {
+		case len(a) < len(b):
+			return -1
+		case len(a) > len(b):
+			return 1
+		}
+		return 0
+	}
+	f := func() bool {
+		a, b := randomStamp(r), randomStamp(r)
+		return a.Compare(b) == less(a.Path(), b.Path())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTopmostCovers(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		n := r.Intn(12)
+		in := make([]Stamp, n)
+		for i := range in {
+			in[i] = randomStamp(r)
+		}
+		top := Topmost(in)
+		if VerifyAntichain(top) != nil {
+			return false
+		}
+		// Every input is in top or a descendant of an element of top.
+		for _, s := range in {
+			covered := false
+			for _, a := range top {
+				if a == s || a.IsAncestorOf(s) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSortIsTotalOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	f := func() bool {
+		n := 1 + r.Intn(20)
+		in := make([]Stamp, n)
+		for i := range in {
+			in[i] = randomStamp(r)
+		}
+		Sort(in)
+		for i := 1; i < n; i++ {
+			if in[i-1].Compare(in[i]) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkChild(b *testing.B) {
+	s := FromPath(1, 2, 3, 4, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Child(uint32(i))
+	}
+}
+
+func BenchmarkIsAncestorOf(b *testing.B) {
+	a := FromPath(1, 2, 3)
+	d := FromPath(1, 2, 3, 4, 5, 6, 7, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !a.IsAncestorOf(d) {
+			b.Fatal("unexpected")
+		}
+	}
+}
+
+func BenchmarkTopmost64(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	in := make([]Stamp, 64)
+	for i := range in {
+		in[i] = randomStamp(r)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Topmost(in)
+	}
+}

@@ -1,0 +1,239 @@
+// Package topology models the interconnection network shapes of the
+// simulated multiprocessor. The paper assumes "a processor makes its best
+// effort to communicate with a destination node" over an interconnection
+// network (§1); the recovery protocols are topology-agnostic, but message
+// cost (hop count) and the gradient-model load balancer (§3.3) both need
+// neighbor structure and routing.
+package topology
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// NodeID identifies a processor in the topology, 0-based.
+type NodeID int32
+
+// Topology describes an undirected connected network of N nodes.
+type Topology interface {
+	// Size returns the number of nodes.
+	Size() int
+	// Neighbors returns the direct neighbors of id in ascending order.
+	// The returned slice must not be modified.
+	Neighbors(id NodeID) []NodeID
+	// NextHop returns the neighbor to forward to on a shortest path from
+	// `from` toward `to`. NextHop(x, x) returns x.
+	NextHop(from, to NodeID) NodeID
+	// Dist returns the shortest-path hop count between two nodes.
+	Dist(from, to NodeID) int
+	// Name returns a short human-readable description.
+	Name() string
+}
+
+// table is a generic precomputed-BFS implementation backing every concrete
+// topology. For the machine sizes the simulator targets (≤ a few hundred
+// nodes), O(N²) tables are cheap and make NextHop/Dist O(1).
+type table struct {
+	name      string
+	neighbors [][]NodeID
+	next      [][]NodeID // next[from][to]
+	dist      [][]int32
+}
+
+func (t *table) Size() int                    { return len(t.neighbors) }
+func (t *table) Neighbors(id NodeID) []NodeID { return t.neighbors[id] }
+func (t *table) Name() string                 { return t.name }
+
+func (t *table) NextHop(from, to NodeID) NodeID { return t.next[from][to] }
+func (t *table) Dist(from, to NodeID) int       { return int(t.dist[from][to]) }
+
+// build precomputes BFS next-hop and distance tables from an adjacency
+// list. It returns an error if the graph is disconnected.
+func build(name string, adj [][]NodeID) (Topology, error) {
+	n := len(adj)
+	t := &table{
+		name:      name,
+		neighbors: adj,
+		next:      make([][]NodeID, n),
+		dist:      make([][]int32, n),
+	}
+	queue := make([]NodeID, 0, n)
+	for src := 0; src < n; src++ {
+		next := make([]NodeID, n)
+		dist := make([]int32, n)
+		for i := range dist {
+			dist[i] = -1
+			next[i] = -1
+		}
+		dist[src] = 0
+		next[src] = NodeID(src)
+		queue = queue[:0]
+		queue = append(queue, NodeID(src))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					if u == NodeID(src) {
+						next[v] = v
+					} else {
+						next[v] = next[u]
+					}
+					queue = append(queue, v)
+				}
+			}
+		}
+		for i, d := range dist {
+			if d < 0 {
+				return nil, fmt.Errorf("topology %s: node %d unreachable from %d", name, i, src)
+			}
+		}
+		t.next[src] = next
+		t.dist[src] = dist
+	}
+	return t, nil
+}
+
+// Ring returns a bidirectional ring of n nodes (n ≥ 2).
+func Ring(n int) (Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: ring needs ≥ 2 nodes, got %d", n)
+	}
+	adj := make([][]NodeID, n)
+	for i := 0; i < n; i++ {
+		prev := NodeID((i - 1 + n) % n)
+		next := NodeID((i + 1) % n)
+		if prev == next { // n == 2
+			adj[i] = []NodeID{prev}
+		} else if prev < next {
+			adj[i] = []NodeID{prev, next}
+		} else {
+			adj[i] = []NodeID{next, prev}
+		}
+	}
+	return build(fmt.Sprintf("ring(%d)", n), adj)
+}
+
+// Mesh2D returns a rows×cols grid (no wraparound), row-major node ids.
+func Mesh2D(rows, cols int) (Topology, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("topology: mesh needs ≥ 2 nodes, got %dx%d", rows, cols)
+	}
+	n := rows * cols
+	adj := make([][]NodeID, n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			id := r*cols + c
+			var nb []NodeID
+			if r > 0 {
+				nb = append(nb, NodeID(id-cols))
+			}
+			if c > 0 {
+				nb = append(nb, NodeID(id-1))
+			}
+			if c < cols-1 {
+				nb = append(nb, NodeID(id+1))
+			}
+			if r < rows-1 {
+				nb = append(nb, NodeID(id+cols))
+			}
+			adj[id] = nb
+		}
+	}
+	return build(fmt.Sprintf("mesh(%dx%d)", rows, cols), adj)
+}
+
+// Hypercube returns a d-dimensional binary hypercube with 2^d nodes.
+func Hypercube(dim int) (Topology, error) {
+	if dim < 1 || dim > 16 {
+		return nil, fmt.Errorf("topology: hypercube dimension %d out of range [1,16]", dim)
+	}
+	n := 1 << dim
+	adj := make([][]NodeID, n)
+	for i := 0; i < n; i++ {
+		nb := make([]NodeID, dim)
+		for b := 0; b < dim; b++ {
+			nb[b] = NodeID(i ^ (1 << b))
+		}
+		sortNodeIDs(nb)
+		adj[i] = nb
+	}
+	return build(fmt.Sprintf("hypercube(%d)", dim), adj)
+}
+
+// Complete returns a fully connected network of n nodes.
+func Complete(n int) (Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: complete graph needs ≥ 2 nodes, got %d", n)
+	}
+	adj := make([][]NodeID, n)
+	for i := 0; i < n; i++ {
+		nb := make([]NodeID, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				nb = append(nb, NodeID(j))
+			}
+		}
+		adj[i] = nb
+	}
+	return build(fmt.Sprintf("complete(%d)", n), adj)
+}
+
+// Star returns a star with node 0 at the center and n-1 leaves.
+func Star(n int) (Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: star needs ≥ 2 nodes, got %d", n)
+	}
+	adj := make([][]NodeID, n)
+	center := make([]NodeID, 0, n-1)
+	for i := 1; i < n; i++ {
+		center = append(center, NodeID(i))
+		adj[i] = []NodeID{0}
+	}
+	adj[0] = center
+	return build(fmt.Sprintf("star(%d)", n), adj)
+}
+
+// ByName constructs a topology from a short spec string, used by CLIs:
+// "ring", "mesh", "hypercube", "complete", "star". Mesh picks the most
+// square factorization of n; hypercube requires n to be a power of two.
+func ByName(kind string, n int) (Topology, error) {
+	switch kind {
+	case "ring":
+		return Ring(n)
+	case "mesh":
+		r, c := squarest(n)
+		return Mesh2D(r, c)
+	case "hypercube":
+		if n <= 0 || n&(n-1) != 0 {
+			return nil, fmt.Errorf("topology: hypercube size %d is not a power of two", n)
+		}
+		return Hypercube(bits.TrailingZeros(uint(n)))
+	case "complete":
+		return Complete(n)
+	case "star":
+		return Star(n)
+	default:
+		return nil, fmt.Errorf("topology: unknown kind %q", kind)
+	}
+}
+
+// squarest factors n into rows×cols with rows ≤ cols and rows maximal.
+func squarest(n int) (rows, cols int) {
+	rows = 1
+	for r := 2; r*r <= n; r++ {
+		if n%r == 0 {
+			rows = r
+		}
+	}
+	return rows, n / rows
+}
+
+func sortNodeIDs(ids []NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+}

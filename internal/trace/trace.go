@@ -1,0 +1,273 @@
+// Package trace records what the simulated machine does: a structured event
+// log for scenario tests (which must observe, e.g., that task B5 was *not*
+// reissued — §3's "not fruitful" case) and aggregate metrics for the
+// benchmark harness (message counts and bytes, task accounting, checkpoint
+// storage, recovery latencies).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies events.
+type Kind int
+
+// Event kinds, in rough lifecycle order.
+const (
+	KSpawn        Kind = iota // parent created a task packet (DEMAND_IT)
+	KPlace                    // task settled on a processor
+	KStart                    // processor began executing a task pass
+	KBlock                    // task suspended waiting for child results
+	KComplete                 // task reduced to a value
+	KResult                   // result delivered to parent
+	KDupResult                // duplicate result ignored (Figure 5 cases 6/7)
+	KLateResult               // result for an unknown task discarded (case 8)
+	KCheckpoint               // functional checkpoint recorded
+	KCkptRelease              // checkpoint released after child completion
+	KFail                     // processor failed
+	KDetect                   // a processor learned of a failure
+	KReissue                  // rollback: topmost checkpoint reissued
+	KSuppress                 // rollback: shadowed checkpoint not reissued
+	KAbort                    // task aborted (orphan / doomed subtree)
+	KTwin                     // splice: twin (step-parent) task created
+	KOrphanResult             // splice: orphan result forwarded to ancestor
+	KRelay                    // splice: ancestor relayed orphan result to twin
+	KPrefill                  // splice: twin consumed an inherited result without spawning
+	KStrand                   // splice: orphan had no live ancestor (stranded)
+	KVote                     // redundancy: majority vote decided
+	KVoteMismatch             // redundancy: corrupt value outvoted
+	KSnapshot                 // baseline: global checkpoint taken
+	KRestore                  // baseline: global state restored
+	KRootDone                 // the program's answer reached the super-root
+)
+
+var kindNames = map[Kind]string{
+	KSpawn: "spawn", KPlace: "place", KStart: "start", KBlock: "block",
+	KComplete: "complete", KResult: "result", KDupResult: "dup-result",
+	KLateResult: "late-result", KCheckpoint: "checkpoint",
+	KCkptRelease: "ckpt-release", KFail: "fail", KDetect: "detect",
+	KReissue: "reissue", KSuppress: "suppress", KAbort: "abort",
+	KTwin: "twin", KOrphanResult: "orphan-result", KRelay: "relay",
+	KPrefill: "prefill", KStrand: "strand", KVote: "vote",
+	KVoteMismatch: "vote-mismatch", KSnapshot: "snapshot",
+	KRestore: "restore", KRootDone: "root-done",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Time int64  // virtual time
+	Proc int32  // processor where it happened (-1 = super-root/host)
+	Kind Kind   //
+	Task string // stamp text of the task concerned, if any
+	Note string // free-form detail
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("t=%-8d p=%-3d %-13s %-14s %s", e.Time, e.Proc, e.Kind, e.Task, e.Note)
+}
+
+// Log collects events. A nil *Log is valid and records nothing, so the
+// machine can run with tracing disabled at zero cost.
+type Log struct {
+	Events []Event
+	limit  int
+}
+
+// NewLog creates a log capped at limit events (0 = unlimited).
+func NewLog(limit int) *Log { return &Log{limit: limit} }
+
+// Add appends an event if the log is non-nil and under its cap.
+func (l *Log) Add(e Event) {
+	if l == nil {
+		return
+	}
+	if l.limit > 0 && len(l.Events) >= l.limit {
+		return
+	}
+	l.Events = append(l.Events, e)
+}
+
+// Filter returns the events of the given kind, in order.
+func (l *Log) Filter(k Kind) []Event {
+	if l == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range l.Events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns the number of events of kind k.
+func (l *Log) Count(k Kind) int { return len(l.Filter(k)) }
+
+// String renders the whole log, one event per line.
+func (l *Log) String() string {
+	if l == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, e := range l.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Metrics aggregates counters across a run. All fields are plain integers
+// so Merge and diffing stay trivial.
+type Metrics struct {
+	// Messages by category.
+	MsgTask      int64 // task packets sent (incl. migration hops)
+	MsgTaskAck   int64 // placement acknowledgements
+	MsgResult    int64 // result packets parent-ward
+	MsgResultAck int64 // result acknowledgements
+	MsgGrand     int64 // orphan results sent to ancestors (splice)
+	MsgAbort     int64 // abort/kill packets
+	MsgFault     int64 // failure announcements
+	MsgHeartbeat int64 // heartbeats + probes
+	MsgLoad      int64 // gradient-model load exchanges
+	MsgControl   int64 // baseline freeze/resume/snapshot control
+	BytesOnWire  int64 // payload bytes of all of the above
+	HopsOnWire   int64 // Σ hop counts of all messages
+
+	// Task lifecycle.
+	TasksSpawned   int64 // packets created, incl. reissues/twins/replicas
+	TasksCompleted int64 // reduced to a value
+	TasksAborted   int64 // orphaned or killed
+	TasksLost      int64 // resident on a processor when it failed
+	TasksLeaked    int64 // still resident at end of run
+	StepsExecuted  int64 // reduction steps performed
+	StepsWasted    int64 // steps by tasks that later aborted or were lost
+
+	// Checkpointing.
+	Checkpoints     int64 // functional checkpoints recorded
+	CheckpointBytes int64 // peak retained checkpoint storage, bytes
+	Reissues        int64 // rollback reissues
+	Suppressed      int64 // shadowed checkpoints skipped (topmost rule)
+	Twins           int64 // splice twins created
+	OrphanResults   int64 // orphan results forwarded to ancestors
+	Relayed         int64 // orphan results relayed to twins
+	Prefills        int64 // twin demands satisfied from inherited results
+	Stranded        int64 // orphans with no live ancestor
+	DupResults      int64 // duplicate results ignored
+	LateResults     int64 // results for unknown tasks discarded
+
+	// Redundancy.
+	Votes          int64 // majority votes decided
+	VoteMismatches int64 // corrupt values outvoted
+
+	// Baseline global checkpointing.
+	Snapshots     int64 // global snapshots taken
+	SnapshotBytes int64 // Σ bytes of snapshots
+	Restores      int64 // global restores performed
+
+	// Failure handling.
+	Failures         int64 // processor failures injected
+	Detections       int64 // distinct (observer, failed) detections
+	DetectLatencySum int64 // Σ (detect time − fail time) over first detections
+	FirstDetections  int64 // number of first detections (for the average)
+}
+
+// Add accumulates counters from another Metrics.
+func (m *Metrics) Add(o *Metrics) {
+	m.MsgTask += o.MsgTask
+	m.MsgTaskAck += o.MsgTaskAck
+	m.MsgResult += o.MsgResult
+	m.MsgResultAck += o.MsgResultAck
+	m.MsgGrand += o.MsgGrand
+	m.MsgAbort += o.MsgAbort
+	m.MsgFault += o.MsgFault
+	m.MsgHeartbeat += o.MsgHeartbeat
+	m.MsgLoad += o.MsgLoad
+	m.MsgControl += o.MsgControl
+	m.BytesOnWire += o.BytesOnWire
+	m.HopsOnWire += o.HopsOnWire
+	m.TasksSpawned += o.TasksSpawned
+	m.TasksCompleted += o.TasksCompleted
+	m.TasksAborted += o.TasksAborted
+	m.TasksLost += o.TasksLost
+	m.TasksLeaked += o.TasksLeaked
+	m.StepsExecuted += o.StepsExecuted
+	m.StepsWasted += o.StepsWasted
+	m.Checkpoints += o.Checkpoints
+	m.CheckpointBytes += o.CheckpointBytes
+	m.Reissues += o.Reissues
+	m.Suppressed += o.Suppressed
+	m.Twins += o.Twins
+	m.OrphanResults += o.OrphanResults
+	m.Relayed += o.Relayed
+	m.Prefills += o.Prefills
+	m.Stranded += o.Stranded
+	m.DupResults += o.DupResults
+	m.LateResults += o.LateResults
+	m.Votes += o.Votes
+	m.VoteMismatches += o.VoteMismatches
+	m.Snapshots += o.Snapshots
+	m.SnapshotBytes += o.SnapshotBytes
+	m.Restores += o.Restores
+	m.Failures += o.Failures
+	m.Detections += o.Detections
+	m.DetectLatencySum += o.DetectLatencySum
+	m.FirstDetections += o.FirstDetections
+}
+
+// TotalMessages sums every message counter.
+func (m *Metrics) TotalMessages() int64 {
+	return m.MsgTask + m.MsgTaskAck + m.MsgResult + m.MsgResultAck +
+		m.MsgGrand + m.MsgAbort + m.MsgFault + m.MsgHeartbeat +
+		m.MsgLoad + m.MsgControl
+}
+
+// Rows renders the metrics as sorted "name value" rows for reports,
+// omitting zero counters to keep tables focused.
+func (m *Metrics) Rows() []string {
+	items := []struct {
+		name string
+		v    int64
+	}{
+		{"msg.task", m.MsgTask}, {"msg.task-ack", m.MsgTaskAck},
+		{"msg.result", m.MsgResult}, {"msg.result-ack", m.MsgResultAck},
+		{"msg.grand", m.MsgGrand}, {"msg.abort", m.MsgAbort},
+		{"msg.fault", m.MsgFault}, {"msg.heartbeat", m.MsgHeartbeat},
+		{"msg.load", m.MsgLoad}, {"msg.control", m.MsgControl},
+		{"bytes.wire", m.BytesOnWire}, {"hops.wire", m.HopsOnWire},
+		{"tasks.spawned", m.TasksSpawned}, {"tasks.completed", m.TasksCompleted},
+		{"tasks.aborted", m.TasksAborted}, {"tasks.lost", m.TasksLost},
+		{"tasks.leaked", m.TasksLeaked},
+		{"steps.executed", m.StepsExecuted}, {"steps.wasted", m.StepsWasted},
+		{"ckpt.count", m.Checkpoints}, {"ckpt.bytes", m.CheckpointBytes},
+		{"recover.reissues", m.Reissues}, {"recover.suppressed", m.Suppressed},
+		{"recover.twins", m.Twins}, {"recover.orphan-results", m.OrphanResults},
+		{"recover.relayed", m.Relayed}, {"recover.prefills", m.Prefills},
+		{"recover.stranded", m.Stranded},
+		{"results.dup", m.DupResults}, {"results.late", m.LateResults},
+		{"vote.count", m.Votes}, {"vote.mismatch", m.VoteMismatches},
+		{"global.snapshots", m.Snapshots}, {"global.snapshot-bytes", m.SnapshotBytes},
+		{"global.restores", m.Restores},
+		{"fault.failures", m.Failures}, {"fault.detections", m.Detections},
+	}
+	var out []string
+	for _, it := range items {
+		if it.v != 0 {
+			out = append(out, fmt.Sprintf("%-24s %d", it.name, it.v))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the non-zero counters, one per line.
+func (m *Metrics) String() string { return strings.Join(m.Rows(), "\n") }

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(Event{Kind: KSpawn}) // must not panic
+	if got := l.Filter(KSpawn); got != nil {
+		t.Fatalf("nil log Filter = %v", got)
+	}
+	if l.Count(KSpawn) != 0 {
+		t.Fatal("nil log Count != 0")
+	}
+	if l.String() != "" {
+		t.Fatal("nil log String != empty")
+	}
+}
+
+func TestLogAddFilterCount(t *testing.T) {
+	l := NewLog(0)
+	l.Add(Event{Time: 1, Kind: KSpawn, Task: "1"})
+	l.Add(Event{Time: 2, Kind: KFail, Proc: 3})
+	l.Add(Event{Time: 3, Kind: KSpawn, Task: "1.0"})
+	if l.Count(KSpawn) != 2 || l.Count(KFail) != 1 || l.Count(KAbort) != 0 {
+		t.Fatalf("counts wrong: %v", l.Events)
+	}
+	sp := l.Filter(KSpawn)
+	if len(sp) != 2 || sp[0].Task != "1" || sp[1].Task != "1.0" {
+		t.Fatalf("Filter = %v", sp)
+	}
+}
+
+func TestLogLimit(t *testing.T) {
+	l := NewLog(2)
+	for i := 0; i < 5; i++ {
+		l.Add(Event{Time: int64(i), Kind: KStart})
+	}
+	if len(l.Events) != 2 {
+		t.Fatalf("limited log has %d events", len(l.Events))
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Time: 42, Proc: 2, Kind: KTwin, Task: "1.0", Note: "for B2"}
+	s := e.String()
+	for _, want := range []string{"42", "twin", "1.0", "for B2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Event.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KSpawn; k <= KRootDone; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+	if !strings.HasPrefix(Kind(999).String(), "Kind(") {
+		t.Error("unknown kind should use fallback rendering")
+	}
+}
+
+func TestMetricsAddAndTotal(t *testing.T) {
+	a := &Metrics{MsgTask: 2, MsgResult: 3, TasksSpawned: 5, BytesOnWire: 100}
+	b := &Metrics{MsgTask: 1, MsgHeartbeat: 7, Checkpoints: 4}
+	a.Add(b)
+	if a.MsgTask != 3 || a.MsgHeartbeat != 7 || a.Checkpoints != 4 || a.TasksSpawned != 5 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	if got := a.TotalMessages(); got != 3+3+7 {
+		t.Fatalf("TotalMessages = %d", got)
+	}
+}
+
+func TestMetricsRowsOmitZeros(t *testing.T) {
+	m := &Metrics{MsgTask: 1, Twins: 2}
+	rows := m.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("Rows = %v", rows)
+	}
+	s := m.String()
+	if !strings.Contains(s, "msg.task") || !strings.Contains(s, "recover.twins") {
+		t.Fatalf("String = %q", s)
+	}
+	if strings.Contains(s, "vote.count") {
+		t.Fatal("zero counter rendered")
+	}
+}
+
+func TestMetricsAddCoversEveryField(t *testing.T) {
+	// Fill every field with 1 and verify Add doubles all of them; this
+	// catches forgotten fields when the struct grows.
+	ones := func() *Metrics {
+		return &Metrics{
+			MsgTask: 1, MsgTaskAck: 1, MsgResult: 1, MsgResultAck: 1,
+			MsgGrand: 1, MsgAbort: 1, MsgFault: 1, MsgHeartbeat: 1,
+			MsgLoad: 1, MsgControl: 1, BytesOnWire: 1, HopsOnWire: 1,
+			TasksSpawned: 1, TasksCompleted: 1, TasksAborted: 1,
+			TasksLost: 1, TasksLeaked: 1, StepsExecuted: 1, StepsWasted: 1,
+			Checkpoints: 1, CheckpointBytes: 1, Reissues: 1, Suppressed: 1,
+			Twins: 1, OrphanResults: 1, Relayed: 1, Prefills: 1, Stranded: 1,
+			DupResults: 1, LateResults: 1, Votes: 1, VoteMismatches: 1,
+			Snapshots: 1, SnapshotBytes: 1, Restores: 1, Failures: 1,
+			Detections: 1, DetectLatencySum: 1, FirstDetections: 1,
+		}
+	}
+	m := ones()
+	m.Add(ones())
+	if m.MsgTask != 2 || m.FirstDetections != 2 || m.DetectLatencySum != 2 ||
+		m.Restores != 2 || m.Stranded != 2 || m.HopsOnWire != 2 {
+		t.Fatalf("Add missed fields: %+v", m)
+	}
+}
