@@ -10,10 +10,10 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
-	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/lang"
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/scenario"
 )
 
@@ -285,12 +285,50 @@ func BenchmarkAblationNoSuppression(b *testing.B) {
 	b.ReportMetric(float64(last.Metrics.Reissues), "reissues")
 }
 
-// --- End-to-end table generation (the full T1 driver) ---
+// --- End-to-end table generation through the runner registry ---
+
+// lookupTable resolves a table driver from the shared registry, so the
+// benchmarks exercise exactly what cmd/experiments runs.
+func lookupTable(b *testing.B, id string) func(int64) (*runner.Result, error) {
+	b.Helper()
+	reg := runner.Default()
+	if _, ok := reg.Lookup(id); !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	return func(seed int64) (*runner.Result, error) {
+		results, err := reg.RunIDs(id, runner.Options{Seeds: []int64{seed}, Parallel: 1})
+		if err != nil {
+			return nil, err
+		}
+		return results[0], nil
+	}
+}
 
 func BenchmarkExperimentT1Table(b *testing.B) {
+	run := lookupTable(b, "T1")
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.T1Overhead("fib:11", 8, 1); err != nil {
+		if _, err := run(1); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+// BenchmarkRunnerSeedSweepSequential and ...Parallel measure the engine's
+// fan-out win on a 3-seed T7 sweep (each cell builds its own machine, so
+// the grid parallelizes cleanly).
+func benchSeedSweep(b *testing.B, parallel int) {
+	reg := runner.Default()
+	opt := runner.Options{Seeds: runner.SeedRange(1, 3), Parallel: parallel}
+	for i := 0; i < b.N; i++ {
+		results, err := reg.RunIDs("T7", opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if results[0].Summary == nil {
+			b.Fatal("missing multi-seed aggregate")
+		}
+	}
+}
+
+func BenchmarkRunnerSeedSweepSequential(b *testing.B) { benchSeedSweep(b, 1) }
+func BenchmarkRunnerSeedSweepParallel(b *testing.B)   { benchSeedSweep(b, 3) }

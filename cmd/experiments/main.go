@@ -2,215 +2,71 @@
 // DESIGN.md: the figure scenarios F1–F7 and the quantitative tables T1–T7
 // plus ablations A1–A4. Its markdown output is the body of EXPERIMENTS.md.
 //
-//	experiments            # everything
-//	experiments -exp F1    # one artifact
-//	experiments -seed 7    # different seed
+// Artifacts resolve through internal/runner's registry, so this command,
+// the benchmarks and the tests all run the same drivers. Tables can be
+// swept across several seeds and scheduled on a worker pool; multi-seed
+// runs report mean/min/max per metric plus effect-size classification.
+//
+//	experiments                          # everything, one seed
+//	experiments -exp f1                  # one artifact (ids are case-insensitive)
+//	experiments -exp T3,T6               # a comma-separated subset
+//	experiments -seed 7                  # different base seed
+//	experiments -exp T3 -seeds 3         # seeds 1,2,3 with mean/min/max aggregates
+//	experiments -seeds 3 -parallel 8     # fan the (experiment × seed) grid out
+//	experiments -exp T3 -seeds 3 -json   # machine-readable per-seed + aggregate output
+//	experiments -list                    # show the registered artifact ids
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
-	"strings"
 
-	"repro/internal/experiments"
-	"repro/internal/proto"
-	"repro/internal/scenario"
+	"repro/internal/runner"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "which artifact: all|F1|F2|F5|F6|F7|T1..T7|A1..A4")
-		seed = flag.Int64("seed", 1, "random seed for the quantitative tables")
+		exp      = flag.String("exp", "all", "artifacts: all, one id (F1/F2/F5/F6/F7, T1..T7, A1..A4, any case; see -list), or a comma-separated list")
+		seed     = flag.Int64("seed", 1, "base random seed for the quantitative tables")
+		seeds    = flag.Int("seeds", 1, "number of consecutive seeds to sweep (seed, seed+1, ...)")
+		parallel = flag.Int("parallel", 0, "worker goroutines for the (experiment × seed) grid (0 = GOMAXPROCS)")
+		asJSON   = flag.Bool("json", false, "emit JSON (per-seed tables plus aggregates) instead of markdown")
+		list     = flag.Bool("list", false, "list the registered artifacts and exit")
 	)
 	flag.Parse()
 
-	which := strings.ToUpper(*exp)
-	ran := false
-	runIf := func(id string, f func() error) {
-		if which == "ALL" || which == id {
-			ran = true
-			if err := f(); err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-				os.Exit(1)
-			}
+	reg := runner.Default()
+	if *list {
+		for _, id := range reg.IDs() {
+			e, _ := reg.Lookup(id)
+			fmt.Printf("%-4s %-7s %s\n", e.ID, e.Kind, e.Title)
 		}
+		return
 	}
 
-	runIf("F1", printFig1)
-	runIf("F2", printFig23)
-	runIf("F5", printFig5)
-	runIf("F6", printFig67)
-	runIf("F7", printMultiFault)
-
-	tables := map[string]func() (*experiments.Table, error){
-		"T1": func() (*experiments.Table, error) { return experiments.T1Overhead("fib:13", 8, *seed) },
-		"T2": func() (*experiments.Table, error) { return experiments.T2FaultSweep("tree:3,6", 9, *seed) },
-		"T3": func() (*experiments.Table, error) {
-			return experiments.T3Scale("tree:3,6", []int{4, 9, 16, 36, 64}, *seed)
-		},
-		"T4": func() (*experiments.Table, error) { return experiments.T4MultiFault(*seed) },
-		"T5": func() (*experiments.Table, error) { return experiments.T5Replication(*seed) },
-		"T6": func() (*experiments.Table, error) { return experiments.T6Placement(*seed) },
-		"T7": func() (*experiments.Table, error) { return experiments.T7TMR(*seed) },
-		"A1": func() (*experiments.Table, error) { return experiments.A1EagerVsLazyAbort(*seed) },
-		"A2": func() (*experiments.Table, error) { return experiments.A2CheckpointStorage(*seed) },
-		"A3": func() (*experiments.Table, error) { return experiments.A3DetectionLatency(*seed) },
-		"A4": func() (*experiments.Table, error) { return experiments.A4TopmostSuppression(*seed) },
+	results, runErr := reg.RunIDs(*exp, runner.Options{
+		Seeds:    runner.SeedRange(*seed, *seeds),
+		Parallel: *parallel,
+	})
+	if runErr != nil && results == nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", runErr)
+		os.Exit(2) // bad request (e.g. unknown artifact id)
 	}
-	ids := make([]string, 0, len(tables))
-	for id := range tables {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		gen := tables[id]
-		runIf(id, func() error {
-			tb, err := gen()
-			if err != nil {
-				return err
-			}
-			fmt.Println(tb.Markdown())
-			return nil
-		})
-	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "experiments: unknown artifact %q\n", *exp)
-		os.Exit(2)
-	}
-}
-
-func printFig1() error {
-	res, err := scenario.RunFig1Rollback()
-	if err != nil {
-		return err
-	}
-	fmt.Println("### F1 — Figure 1: call tree on processors A–D, rollback recovery")
-	fmt.Println()
-	fmt.Println("**Paper claim (§2.2, §3).** Checkpoints live with the spawning parents:")
-	fmt.Println("A holds B1; C holds B2, B3, B5; D holds B7. Failing B fragments the tree")
-	fmt.Println("into three pieces; recovery reissues only the topmost checkpoints and")
-	fmt.Println("suppresses B5 (\"Reactivation of B5 only increases the system overhead\").")
-	fmt.Println()
-	fmt.Printf("- fault: announced crash of processor B at t=%d\n", res.FaultTime)
-	fmt.Printf("- completed with correct answer: %v (answer %s)\n", res.Completed, res.Answer)
-	fmt.Printf("- checkpoint holders: %s\n", holderString(res.CheckpointHolders))
-	fmt.Printf("- fragments: %v\n", res.Fragments)
-	fmt.Printf("- reissued: %s\n", holderString(res.Reissued))
-	fmt.Printf("- suppressed: %v\n", res.Suppressed)
-	fmt.Printf("- tasks lost with B: %d; reissues: %d; suppressed: %d\n",
-		res.Metrics.TasksLost, res.Metrics.Reissues, res.Metrics.Suppressed)
-	fmt.Println()
-	return nil
-}
-
-func printFig23() error {
-	res, err := scenario.RunFig23Splice()
-	if err != nil {
-		return err
-	}
-	fmt.Println("### F2 — Figures 2–3: grandparent pointers and twin inheritance, splice recovery")
-	fmt.Println()
-	fmt.Println("**Paper claim (§4.1).** \"A twin task of B2, say B2', is created by the")
-	fmt.Println("parent C1 to inherit tasks D4 and A2\"; orphan results flow through the")
-	fmt.Println("grandparent relay to the step-parent.")
-	fmt.Println()
-	fmt.Printf("- fault: announced crash of processor B at t=%d\n", res.FaultTime)
-	fmt.Printf("- completed with correct answer: %v (answer %s)\n", res.Completed, res.Answer)
-	fmt.Printf("- twins created: %s\n", holderString(res.Twinned))
-	fmt.Printf("- orphan results escalated: %d; relayed to twins: %d; inherited without respawn: %d; duplicates ignored: %d\n",
-		res.OrphanResults, res.Relayed, res.Prefills, res.Dups)
-	fmt.Println()
-	return nil
-}
-
-func printFig5() error {
-	fmt.Println("### F5 — Figure 5: the eight orderings of C's completion")
-	fmt.Println()
-	fmt.Println("**Paper claim (§4.1).** Every ordering of C's completion relative to the")
-	fmt.Println("failure of P and the twin's progress resolves to the correct answer with")
-	fmt.Println("duplicates ignored and late results discarded.")
-	fmt.Println()
-	fmt.Println("| case | ordering | correct | C placements | prefills | dups | lates |")
-	fmt.Println("|---|---|---|---|---|---|---|")
-	for c := 1; c <= 8; c++ {
-		res, err := scenario.RunFig5Case(c)
+	// A per-artifact failure still renders everything that succeeded (the
+	// failed artifacts carry their error inline) before exiting non-zero.
+	if *asJSON {
+		out, err := runner.RenderJSON(results)
 		if err != nil {
-			return err
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
 		}
-		fmt.Printf("| %d | %s | %v | %d | %d | %d | %d |\n",
-			c, res.Desc, res.Completed, res.PlacesC, res.Prefills, res.Dups, res.Lates)
+		fmt.Print(out)
+	} else {
+		fmt.Print(runner.RenderMarkdown(results))
 	}
-	fmt.Println()
-	return nil
-}
-
-func printFig67() error {
-	fmt.Println("### F6 — Figures 6–7: spawn states a–g and residue freedom")
-	fmt.Println()
-	fmt.Println("**Paper claim (§4.3.2).** \"A residue-free fault tolerant measure must")
-	fmt.Println("assure that tasks G and C are not affected by the failure of P from state")
-	fmt.Println("a through state g.\"")
-	fmt.Println()
-	fmt.Println("| state | situation | scheme | correct | recoveries | P places | C places |")
-	fmt.Println("|---|---|---|---|---|---|---|")
-	for _, scheme := range []string{"rollback", "splice"} {
-		for st := byte('a'); st <= 'g'; st++ {
-			res, err := scenario.RunFig67State(st, scheme)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("| %c | %s | %s | %v | %d | %d | %d |\n",
-				st, res.Desc, scheme, res.Completed, res.Recovered, res.PlacesP, res.PlacesC)
-		}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", runErr)
+		os.Exit(1)
 	}
-	fmt.Println()
-	return nil
-}
-
-func printMultiFault() error {
-	fmt.Println("### F7 — §5.2: simultaneous parent + grandparent failure vs ancestor depth K")
-	fmt.Println()
-	fmt.Println("**Paper claim (§5.2).** \"if both the parent and grandparent processors of")
-	fmt.Println("a task fail simultaneously, the orphan task would be stranded. It is noted")
-	fmt.Println("that the resilient structure concept can be further extended to include")
-	fmt.Println("pointers to the great grandparent and beyond.\"")
-	fmt.Println()
-	fmt.Println("| ancestor depth K | correct | stranded results | relayed results | C placements |")
-	fmt.Println("|---|---|---|---|---|")
-	for _, k := range []int{2, 3, 4} {
-		res, err := scenario.RunMultiFaultBranch(k)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("| %d | %v | %d | %d | %d |\n",
-			k, res.Completed, res.Stranded, res.Relayed, res.PlacesC)
-	}
-	fmt.Println()
-	fmt.Println("**Measured.** K=2 strands the orphan's result (both named ancestors are")
-	fmt.Println("dead) and the twins recompute the subtree; K≥3 escalates past the dead pair")
-	fmt.Println("and splices the partial result in. The answer is correct at every K.")
-	fmt.Println()
-	return nil
-}
-
-func holderString(m map[string]proto.ProcID) string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	parts := make([]string, 0, len(keys))
-	for _, k := range keys {
-		parts = append(parts, fmt.Sprintf("%s→%s", k, procLetter(m[k])))
-	}
-	return strings.Join(parts, ", ")
-}
-
-func procLetter(p proto.ProcID) string {
-	if p >= 0 && p < 4 {
-		return string(rune('A' + int32(p)))
-	}
-	return fmt.Sprintf("proc%d", p)
 }

@@ -19,14 +19,15 @@ import (
 	"repro/internal/sim"
 )
 
-// Table is one experiment's output.
+// Table is one experiment's output. Rows hold typed cells: labels stay
+// strings, measurements carry their numeric value for seed aggregation.
 type Table struct {
-	ID      string
-	Title   string
-	Claim   string // the paper statement under test
-	Columns []string
-	Rows    [][]string
-	Finding string // what the measurements show
+	ID      string   `json:"id"`
+	Title   string   `json:"title"`
+	Claim   string   `json:"claim"` // the paper statement under test
+	Columns []string `json:"columns"`
+	Rows    [][]Cell `json:"rows"`
+	Finding string   `json:"finding,omitempty"` // what the measurements show
 }
 
 // Markdown renders the table for EXPERIMENTS.md.
@@ -37,7 +38,11 @@ func (t *Table) Markdown() string {
 	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
 	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
 	for _, r := range t.Rows {
-		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+		texts := make([]string, len(r))
+		for i, c := range r {
+			texts[i] = c.Text
+		}
+		b.WriteString("| " + strings.Join(texts, " | ") + " |\n")
 	}
 	if t.Finding != "" {
 		fmt.Fprintf(&b, "\n**Measured.** %s\n", t.Finding)
@@ -45,8 +50,11 @@ func (t *Table) Markdown() string {
 	return b.String()
 }
 
-func i64(v int64) string   { return fmt.Sprintf("%d", v) }
-func pct(v float64) string { return fmt.Sprintf("%+.1f%%", v*100) }
+func i64(v int64) Cell   { return Int(v) }
+func pct(v float64) Cell { return Pct(v) }
+
+// ratio renders a slowdown/stretch factor like "1.27x".
+func ratio(v float64) Cell { return Float("%.2fx", v) }
 
 // imbalance is max/mean of the per-processor load, 0 when empty.
 func imbalance(steps []int64) float64 {
@@ -105,8 +113,8 @@ func T1Overhead(spec string, procs int, seed int64) (*Table, error) {
 	}
 	addRow := func(name string, rep *core.Report, pause int64) {
 		delta := float64(int64(rep.Makespan)+pause-int64(base.Makespan)) / float64(base.Makespan)
-		t.Rows = append(t.Rows, []string{
-			name,
+		t.Rows = append(t.Rows, []Cell{
+			Str(name),
 			i64(int64(rep.Makespan) + pause),
 			pct(delta),
 			i64(rep.Metrics.TotalMessages()),
@@ -126,8 +134,8 @@ func T1Overhead(spec string, procs int, seed int64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("periodic global (T=%d)", interval),
+		t.Rows = append(t.Rows, []Cell{
+			Strf("periodic global (T=%d)", interval),
 			i64(out.Makespan),
 			pct(float64(out.Makespan-out.BaseMakespan) / float64(out.BaseMakespan)),
 			i64(base.Metrics.TotalMessages() + out.ControlMessages),
@@ -170,14 +178,13 @@ func T2FaultSweep(spec string, procs int, seed int64) (*Table, error) {
 		for _, scheme := range []string{"rollback", "splice"} {
 			rep := mustRun(core.Config{Procs: procs, Seed: seed, Recovery: scheme},
 				w, faults.Crash(1, at, true))
-			slow := "—"
-			extra := "—"
+			slow, extra := Dash(), Dash()
 			if rep.Completed {
-				slow = fmt.Sprintf("%.2fx", float64(rep.Makespan)/float64(m0))
+				slow = ratio(float64(rep.Makespan) / float64(m0))
 				extra = i64(rep.Metrics.StepsExecuted - steps0)
 			}
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%d%%", frac), scheme,
+			t.Rows = append(t.Rows, []Cell{
+				Strf("%d%%", frac), Str(scheme),
 				i64(int64(rep.Makespan)), slow, extra,
 				i64(rep.Metrics.Twins + rep.Metrics.Reissues),
 			})
@@ -216,10 +223,10 @@ func T3Scale(spec string, sizes []int, seed int64) (*Table, error) {
 			return nil, err
 		}
 		perTask := float64(rep.Metrics.MsgTask+rep.Metrics.MsgTaskAck) / float64(rep.Metrics.TasksSpawned)
-		t.Rows = append(t.Rows, []string{
+		t.Rows = append(t.Rows, []Cell{
 			i64(int64(n)),
 			i64(int64(rep.Makespan)),
-			fmt.Sprintf("%.2f", perTask),
+			Float("%.2f", perTask),
 			i64(out.PauseTotal),
 			pct(float64(out.PauseTotal) / float64(out.BaseMakespan)),
 		})
@@ -262,13 +269,13 @@ func T4MultiFault(seed int64) (*Table, error) {
 		for _, k := range []int{2, 3, 4} {
 			rep := mustRun(core.Config{Procs: 9, Seed: seed, Recovery: "splice", AncestorDepth: k},
 				w, pl.plan)
-			slow := "—"
+			slow := Dash()
 			if rep.Completed {
-				slow = fmt.Sprintf("%.2fx", float64(rep.Makespan)/m0)
+				slow = ratio(float64(rep.Makespan) / m0)
 			}
-			t.Rows = append(t.Rows, []string{
-				pl.name, i64(int64(k)),
-				fmt.Sprintf("%v", rep.Completed),
+			t.Rows = append(t.Rows, []Cell{
+				Str(pl.name), i64(int64(k)),
+				Strf("%v", rep.Completed),
 				i64(rep.Metrics.Twins),
 				i64(rep.Metrics.Stranded),
 				slow,
@@ -309,9 +316,9 @@ func T5Replication(seed int64) (*Table, error) {
 		}
 		rep := mustRun(cfg, w, plan)
 		correct := rep.Completed && rep.Answer != nil && rep.Answer.Equal(want)
-		t.Rows = append(t.Rows, []string{
+		t.Rows = append(t.Rows, []Cell{
 			i64(int64(r)),
-			fmt.Sprintf("%v", correct),
+			Strf("%v", correct),
 			i64(rep.Metrics.Votes),
 			i64(rep.Metrics.VoteMismatches),
 			i64(rep.Metrics.DupResults),
@@ -349,17 +356,17 @@ func T6Placement(seed int64) (*Table, error) {
 		}
 		at := int64(base.Makespan) / 2
 		rep := mustRun(cfg, w, faults.Crash(1, at, true))
-		stretch := "—"
+		stretch := Dash()
 		if rep.Completed {
-			stretch = fmt.Sprintf("%.2fx", float64(rep.Makespan)/float64(base.Makespan))
+			stretch = ratio(float64(rep.Makespan) / float64(base.Makespan))
 		}
-		t.Rows = append(t.Rows, []string{
-			placement,
+		t.Rows = append(t.Rows, []Cell{
+			Str(placement),
 			i64(int64(base.Makespan)),
 			i64(int64(rep.Makespan)),
 			stretch,
 			i64(rep.Metrics.TotalMessages()),
-			fmt.Sprintf("%.2f", imbalance(rep.StepsByProc)),
+			Float("%.2f", imbalance(rep.StepsByProc)),
 		})
 	}
 	t.Finding = "Dynamic policies re-place recovered tasks transparently; static hashing " +
@@ -385,12 +392,12 @@ func T7TMR(seed int64) (*Table, error) {
 		Columns: []string{"scheme", "makespan", "steps executed", "task messages", "wire bytes"},
 	}
 	ckpt := mustRun(core.Config{Procs: 8, Seed: seed, Recovery: "rollback"}, w, nil)
-	t.Rows = append(t.Rows, []string{"functional ckpt (rollback)",
+	t.Rows = append(t.Rows, []Cell{Str("functional ckpt (rollback)"),
 		i64(int64(ckpt.Makespan)), i64(ckpt.Metrics.StepsExecuted),
 		i64(ckpt.Metrics.MsgTask), i64(ckpt.Metrics.BytesOnWire)})
 	tmr := mustRun(core.Config{Procs: 8, Seed: seed,
 		Replication: baseline.ReplicateAll(w.Program.Names(), 3)}, w, nil)
-	t.Rows = append(t.Rows, []string{"TMR (R=3 everywhere)",
+	t.Rows = append(t.Rows, []Cell{Str("TMR (R=3 everywhere)"),
 		i64(int64(tmr.Makespan)), i64(tmr.Metrics.StepsExecuted),
 		i64(tmr.Metrics.MsgTask), i64(tmr.Metrics.BytesOnWire)})
 	t.Finding = "TMR pays roughly 3× compute and task traffic in every fault-free run; " +
@@ -415,8 +422,8 @@ func A1EagerVsLazyAbort(seed int64) (*Table, error) {
 	at := int64(base.Makespan) / 2
 	for _, scheme := range []string{"rollback", "rollback-lazy"} {
 		rep := mustRun(core.Config{Procs: 9, Seed: seed, Recovery: scheme}, w, faults.Crash(1, at, true))
-		t.Rows = append(t.Rows, []string{
-			scheme, fmt.Sprintf("%v", rep.Completed),
+		t.Rows = append(t.Rows, []Cell{
+			Str(scheme), Strf("%v", rep.Completed),
 			i64(rep.Metrics.TasksAborted), i64(rep.Metrics.StepsWasted),
 			i64(rep.Metrics.TasksLeaked), i64(int64(rep.Makespan)),
 		})
@@ -446,9 +453,9 @@ func A2CheckpointStorage(seed int64) (*Table, error) {
 			return nil, fmt.Errorf("experiments: %s incomplete", spec)
 		}
 		perTask := float64(rep.Metrics.CheckpointBytes) / float64(rep.Metrics.TasksSpawned)
-		t.Rows = append(t.Rows, []string{
-			spec, i64(rep.Metrics.TasksSpawned), i64(rep.Metrics.Checkpoints),
-			i64(rep.Metrics.CheckpointBytes), fmt.Sprintf("%.1f", perTask),
+		t.Rows = append(t.Rows, []Cell{
+			Str(spec), i64(rep.Metrics.TasksSpawned), i64(rep.Metrics.Checkpoints),
+			i64(rep.Metrics.CheckpointBytes), Float("%.1f", perTask),
 		})
 	}
 	t.Finding = "Peak retained storage is a small constant per in-flight task (packet " +
@@ -477,15 +484,15 @@ func A3DetectionLatency(seed int64) (*Table, error) {
 		cfg := core.Config{Procs: 8, Seed: seed, Recovery: "rollback",
 			Raw: &machine.Config{HeartbeatEvery: sim.Time(hb)}}
 		rep := mustRun(cfg, w, faults.Crash(1, at, false))
-		lat := "—"
+		lat := Dash()
 		if rep.Metrics.FirstDetections > 0 {
 			lat = i64(rep.Metrics.DetectLatencySum / rep.Metrics.FirstDetections)
 		}
-		slow := "—"
+		slow := Dash()
 		if rep.Completed {
-			slow = fmt.Sprintf("%.2fx", float64(rep.Makespan)/float64(base.Makespan))
+			slow = ratio(float64(rep.Makespan) / float64(base.Makespan))
 		}
-		t.Rows = append(t.Rows, []string{i64(hb), lat, i64(int64(rep.Makespan)), slow})
+		t.Rows = append(t.Rows, []Cell{i64(hb), lat, i64(int64(rep.Makespan)), slow})
 	}
 	t.Finding = "Detection latency scales with the heartbeat period and feeds directly " +
 		"into completion time; ack-timeout detection bounds it when traffic to the dead " +
@@ -514,8 +521,8 @@ func A4TopmostSuppression(seed int64) (*Table, error) {
 	at := int64(base.Makespan) / 2
 	for _, scheme := range []string{"rollback", "rollback-nosuppress"} {
 		rep := mustRun(core.Config{Procs: 4, Seed: seed, Recovery: scheme}, w, faults.Crash(1, at, true))
-		t.Rows = append(t.Rows, []string{
-			scheme, i64(rep.Metrics.Reissues), i64(rep.Metrics.Suppressed),
+		t.Rows = append(t.Rows, []Cell{
+			Str(scheme), i64(rep.Metrics.Reissues), i64(rep.Metrics.Suppressed),
 			i64(rep.Metrics.StepsWasted), i64(rep.Metrics.StepsExecuted), i64(int64(rep.Makespan)),
 		})
 	}

@@ -9,7 +9,7 @@ func TestMarkdownRendering(t *testing.T) {
 	tb := &Table{
 		ID: "TX", Title: "Sample", Claim: "claim text",
 		Columns: []string{"a", "b"},
-		Rows:    [][]string{{"1", "2"}, {"3", "4"}},
+		Rows:    [][]Cell{{Int(1), Int(2)}, {Int(3), Int(4)}},
 		Finding: "finding text",
 	}
 	md := tb.Markdown()
@@ -47,11 +47,11 @@ func TestT5ReplicationShape(t *testing.T) {
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}
 	// R=1 wrong, R=3 and R=5 correct — the §5.3 claim.
-	if tb.Rows[0][1] != "false" {
+	if tb.Rows[0][1].Text != "false" {
 		t.Errorf("R=1 should produce a wrong answer, got %q", tb.Rows[0][1])
 	}
 	for _, i := range []int{1, 2} {
-		if tb.Rows[i][1] != "true" {
+		if tb.Rows[i][1].Text != "true" {
 			t.Errorf("replicated row %d not correct: %v", i, tb.Rows[i])
 		}
 	}
@@ -70,7 +70,7 @@ func TestT2FaultSweepShape(t *testing.T) {
 	}
 	// Every run must have completed (slowdown filled in).
 	for _, r := range tb.Rows {
-		if r[3] == "—" {
+		if r[3].Text == "—" {
 			t.Errorf("run did not complete: %v", r)
 		}
 	}

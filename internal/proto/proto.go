@@ -22,6 +22,21 @@ type ProcID int32
 // HostID is the super-root pseudo-processor.
 const HostID ProcID = -1
 
+// Letter names a processor the way the paper's figures do: A–Z for the
+// first 26 processors, then P26, P27, … for larger grids (so a 6×6 mesh no
+// longer renders a misleading mix of letters and proc%d). HostID renders as
+// "host".
+func (p ProcID) Letter() string {
+	switch {
+	case p == HostID:
+		return "host"
+	case p >= 0 && p < 26:
+		return string(rune('A' + int32(p)))
+	default:
+		return fmt.Sprintf("P%d", int32(p))
+	}
+}
+
 // Rep distinguishes replica lineages when tasks are replicated (§5.3).
 // A task is uniquely keyed by (Stamp, Rep): replicas of the same logical
 // application share a stamp but carry distinct Rep values; children inherit

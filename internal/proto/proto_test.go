@@ -121,3 +121,19 @@ func TestMsgTypeStrings(t *testing.T) {
 		t.Error("unknown type fallback missing")
 	}
 }
+
+func TestProcLetter(t *testing.T) {
+	cases := map[ProcID]string{
+		HostID: "host",
+		0:      "A",
+		3:      "D",
+		25:     "Z",
+		26:     "P26", // 6×6 grids and beyond keep a uniform naming scheme
+		63:     "P63",
+	}
+	for p, want := range cases {
+		if got := p.Letter(); got != want {
+			t.Errorf("ProcID(%d).Letter() = %q, want %q", p, got, want)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package runner is the experiment engine: a registry of reproduction
+// artifacts (figures F1–F7, tables T1–T7, ablations A1–A4), a worker pool
+// that fans (experiment × seed) cells out across goroutines, and a stats
+// aggregator that folds per-seed tables into mean/min/max summaries with
+// effect-size classification. cmd/experiments, the top-level benchmarks and
+// the examples all resolve drivers here, so there is exactly one statement
+// of what each artifact runs.
+//
+// Parallel scheduling is safe because every cell builds its own
+// machine.Machine, and each machine owns a private sim.Kernel RNG seeded
+// from the cell's seed — no shared mutable state crosses cells.
+package runner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/experiments"
+)
+
+// Kind distinguishes figure reproductions (seed-independent narratives with
+// fixed fault scripts) from quantitative tables (seed-swept measurements).
+type Kind int
+
+const (
+	// KindFigure artifacts render a fixed scenario; they run once per
+	// request regardless of the seed list.
+	KindFigure Kind = iota
+	// KindTable artifacts measure; they run once per requested seed.
+	KindTable
+)
+
+// String names the kind for reports and JSON.
+func (k Kind) String() string {
+	if k == KindFigure {
+		return "figure"
+	}
+	return "table"
+}
+
+// MarshalJSON emits the kind name.
+func (k Kind) MarshalJSON() ([]byte, error) { return []byte(`"` + k.String() + `"`), nil }
+
+// Experiment is one registered artifact driver. Exactly one of Figure or
+// Table is set, matching Kind.
+type Experiment struct {
+	// ID is the artifact name (canonically upper-case: "F1", "T3", "A2").
+	ID string
+	// Title is a short human label used in listings.
+	Title string
+	// Kind selects which driver field is populated.
+	Kind Kind
+	// Figure renders the scenario narrative as markdown.
+	Figure func() (string, error)
+	// Table runs the measurement at one seed.
+	Table func(seed int64) (*experiments.Table, error)
+}
+
+// Registry maps artifact ids to drivers, preserving registration order so
+// "run everything" reproduces the report in its indexed order.
+type Registry struct {
+	mu    sync.RWMutex
+	order []string
+	byID  map[string]Experiment
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{byID: map[string]Experiment{}} }
+
+// Register adds a driver. Ids are case-insensitive; duplicates and
+// kind/driver mismatches are errors.
+func (r *Registry) Register(e Experiment) error {
+	id := strings.ToUpper(strings.TrimSpace(e.ID))
+	if id == "" {
+		return fmt.Errorf("runner: experiment id required")
+	}
+	if e.Kind == KindFigure && (e.Figure == nil || e.Table != nil) {
+		return fmt.Errorf("runner: %s: figure experiments need exactly the Figure driver", id)
+	}
+	if e.Kind == KindTable && (e.Table == nil || e.Figure != nil) {
+		return fmt.Errorf("runner: %s: table experiments need exactly the Table driver", id)
+	}
+	e.ID = id
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byID[id]; dup {
+		return fmt.Errorf("runner: duplicate experiment %q", id)
+	}
+	r.byID[id] = e
+	r.order = append(r.order, id)
+	return nil
+}
+
+// MustRegister is Register for init-time wiring.
+func (r *Registry) MustRegister(e Experiment) {
+	if err := r.Register(e); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves an id case-insensitively.
+func (r *Registry) Lookup(id string) (Experiment, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.byID[strings.ToUpper(strings.TrimSpace(id))]
+	return e, ok
+}
+
+// IDs lists the registered artifacts in registration order.
+func (r *Registry) IDs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Resolve expands a request — "all", a single id, or a comma-separated list
+// in any case — into registered experiments in report order.
+func (r *Registry) Resolve(request string) ([]Experiment, error) {
+	request = strings.TrimSpace(request)
+	if request == "" || strings.EqualFold(request, "all") {
+		ids := r.IDs()
+		out := make([]Experiment, 0, len(ids))
+		for _, id := range ids {
+			e, _ := r.Lookup(id)
+			out = append(out, e)
+		}
+		return out, nil
+	}
+	want := map[string]bool{}
+	for _, part := range strings.Split(request, ",") {
+		part = strings.ToUpper(strings.TrimSpace(part))
+		if part == "" {
+			continue
+		}
+		if _, ok := r.Lookup(part); !ok {
+			return nil, fmt.Errorf("runner: unknown artifact %q (known: %s)",
+				part, strings.Join(r.IDs(), ", "))
+		}
+		want[part] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("runner: empty artifact request")
+	}
+	var out []Experiment
+	for _, id := range r.IDs() {
+		if want[id] {
+			e, _ := r.Lookup(id)
+			out = append(out, e)
+			delete(want, id)
+		}
+	}
+	if len(want) != 0 { // unreachable given the Lookup check, kept for safety
+		missing := make([]string, 0, len(want))
+		for id := range want {
+			missing = append(missing, id)
+		}
+		sort.Strings(missing)
+		return nil, fmt.Errorf("runner: unknown artifacts %s", strings.Join(missing, ", "))
+	}
+	return out, nil
+}
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the registry of every artifact indexed in DESIGN.md, with
+// the canonical parameters the report uses.
+func Default() *Registry {
+	defaultOnce.Do(func() {
+		defaultReg = NewRegistry()
+		for _, e := range []Experiment{
+			{ID: "F1", Title: "Figure 1: rollback recovery on processors A–D", Kind: KindFigure, Figure: Fig1Markdown},
+			{ID: "F2", Title: "Figures 2–3: grandparent pointers and twin inheritance", Kind: KindFigure, Figure: Fig23Markdown},
+			{ID: "F5", Title: "Figure 5: the eight orderings of C's completion", Kind: KindFigure, Figure: Fig5Markdown},
+			{ID: "F6", Title: "Figures 6–7: spawn states a–g and residue freedom", Kind: KindFigure, Figure: Fig67Markdown},
+			{ID: "F7", Title: "§5.2: simultaneous ancestor failure vs depth K", Kind: KindFigure, Figure: MultiFaultMarkdown},
+			{ID: "T1", Title: "Fault-free overhead", Kind: KindTable,
+				Table: func(seed int64) (*experiments.Table, error) { return experiments.T1Overhead("fib:13", 8, seed) }},
+			{ID: "T2", Title: "Recovery cost vs fault time", Kind: KindTable,
+				Table: func(seed int64) (*experiments.Table, error) { return experiments.T2FaultSweep("tree:3,6", 9, seed) }},
+			{ID: "T3", Title: "Scaling processors", Kind: KindTable,
+				Table: func(seed int64) (*experiments.Table, error) {
+					return experiments.T3Scale("tree:3,6", []int{4, 9, 16, 36, 64}, seed)
+				}},
+			{ID: "T4", Title: "Multiple faults under splice", Kind: KindTable, Table: experiments.T4MultiFault},
+			{ID: "T5", Title: "Replicated critical sections vs corruption", Kind: KindTable, Table: experiments.T5Replication},
+			{ID: "T6", Title: "Allocation strategy and recovery", Kind: KindTable, Table: experiments.T6Placement},
+			{ID: "T7", Title: "TMR vs functional checkpointing", Kind: KindTable, Table: experiments.T7TMR},
+			{ID: "A1", Title: "Ablation: eager vs lazy orphan abortion", Kind: KindTable, Table: experiments.A1EagerVsLazyAbort},
+			{ID: "A2", Title: "Ablation: checkpoint storage by workload", Kind: KindTable, Table: experiments.A2CheckpointStorage},
+			{ID: "A3", Title: "Ablation: heartbeat period vs recovery", Kind: KindTable, Table: experiments.A3DetectionLatency},
+			{ID: "A4", Title: "Ablation: topmost suppression on/off", Kind: KindTable, Table: experiments.A4TopmostSuppression},
+		} {
+			defaultReg.MustRegister(e)
+		}
+	})
+	return defaultReg
+}

@@ -1,0 +1,205 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// cliIDs is every artifact cmd/experiments accepts; the registry must
+// resolve each one, in either case.
+var cliIDs = []string{
+	"F1", "F2", "F5", "F6", "F7",
+	"T1", "T2", "T3", "T4", "T5", "T6", "T7",
+	"A1", "A2", "A3", "A4",
+}
+
+func TestDefaultRegistryResolvesEveryCLIID(t *testing.T) {
+	reg := Default()
+	for _, id := range cliIDs {
+		for _, variant := range []string{id, strings.ToLower(id), " " + id + " "} {
+			e, ok := reg.Lookup(variant)
+			if !ok {
+				t.Fatalf("Lookup(%q) failed", variant)
+			}
+			if e.ID != id {
+				t.Fatalf("Lookup(%q) = %q", variant, e.ID)
+			}
+			switch e.Kind {
+			case KindFigure:
+				if e.Figure == nil {
+					t.Fatalf("%s: figure driver missing", id)
+				}
+			case KindTable:
+				if e.Table == nil {
+					t.Fatalf("%s: table driver missing", id)
+				}
+			}
+		}
+	}
+	if got := reg.IDs(); len(got) != len(cliIDs) {
+		t.Fatalf("registry has %d artifacts, CLI documents %d: %v", len(got), len(cliIDs), got)
+	}
+	all, err := reg.Resolve("all")
+	if err != nil || len(all) != len(cliIDs) {
+		t.Fatalf("Resolve(all) = %d experiments, err %v", len(all), err)
+	}
+	subset, err := reg.Resolve("t6, f1 ,A2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIDs := make([]string, len(subset))
+	for i, e := range subset {
+		gotIDs[i] = e.ID
+	}
+	// Report order, not request order.
+	if strings.Join(gotIDs, ",") != "F1,T6,A2" {
+		t.Fatalf("Resolve subset order = %v", gotIDs)
+	}
+	if _, err := reg.Resolve("T9"); err == nil {
+		t.Fatal("Resolve(T9) should fail")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	reg := NewRegistry()
+	tbl := func(seed int64) (*experiments.Table, error) { return &experiments.Table{ID: "X"}, nil }
+	fig := func() (string, error) { return "fig", nil }
+	if err := reg.Register(Experiment{ID: "x1", Kind: KindTable, Table: tbl}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(Experiment{ID: "X1", Kind: KindTable, Table: tbl}); err == nil {
+		t.Fatal("duplicate id (case-insensitive) should fail")
+	}
+	if err := reg.Register(Experiment{ID: "", Kind: KindTable, Table: tbl}); err == nil {
+		t.Fatal("empty id should fail")
+	}
+	if err := reg.Register(Experiment{ID: "x2", Kind: KindFigure, Table: tbl}); err == nil {
+		t.Fatal("figure without Figure driver should fail")
+	}
+	if err := reg.Register(Experiment{ID: "x3", Kind: KindTable, Table: tbl, Figure: fig}); err == nil {
+		t.Fatal("table with both drivers should fail")
+	}
+}
+
+// syntheticRegistry builds table drivers whose output depends only on the
+// seed but whose wall-clock duration varies, so a parallel schedule really
+// interleaves completions out of order.
+func syntheticRegistry(t *testing.T, n int) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	for i := 0; i < n; i++ {
+		i := i
+		reg.MustRegister(Experiment{
+			ID: fmt.Sprintf("S%d", i), Title: "synthetic", Kind: KindTable,
+			Table: func(seed int64) (*experiments.Table, error) {
+				// Sleep 0–3ms depending on (exp, seed) to scramble the pool.
+				time.Sleep(time.Duration((int64(i)*7+seed*13)%4) * time.Millisecond)
+				return &experiments.Table{
+					ID:      fmt.Sprintf("S%d", i),
+					Title:   "synthetic",
+					Columns: []string{"config", "metric"},
+					Rows: [][]experiments.Cell{
+						{experiments.Str("base"), experiments.Int(100 + seed)},
+						{experiments.Str("cand"), experiments.Int((100 + seed) * 2)},
+					},
+				}, nil
+			},
+		})
+	}
+	return reg
+}
+
+// TestParallelOutputIsByteIdentical is the engine's core guarantee: a
+// -parallel 8 run renders byte-for-byte the same markdown and JSON as the
+// sequential schedule for the same seed list.
+func TestParallelOutputIsByteIdentical(t *testing.T) {
+	reg := syntheticRegistry(t, 6)
+	opt := func(par int) Options { return Options{Seeds: SeedRange(1, 8), Parallel: par} }
+	seqRes, err := reg.RunIDs("all", opt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := reg.RunIDs("all", opt(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqMD, parMD := RenderMarkdown(seqRes), RenderMarkdown(parRes)
+	if seqMD != parMD {
+		t.Fatalf("markdown differs between sequential and parallel runs:\n--- seq ---\n%s\n--- par ---\n%s", seqMD, parMD)
+	}
+	seqJSON, err := RenderJSON(seqRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parJSON, err := RenderJSON(parRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqJSON != parJSON {
+		t.Fatal("JSON differs between sequential and parallel runs")
+	}
+}
+
+// TestRealArtifactsDeterministicUnderParallelism runs a real figure and a
+// real table through both schedules.
+func TestRealArtifactsDeterministicUnderParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	reg := Default()
+	opt := func(par int) Options { return Options{Seeds: SeedRange(1, 3), Parallel: par} }
+	seq, err := reg.RunIDs("F1,T7", opt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := reg.RunIDs("F1,T7", opt(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderMarkdown(seq) != RenderMarkdown(par) {
+		t.Fatal("real artifacts render differently under parallel schedule")
+	}
+	if par[1].Summary == nil {
+		t.Fatal("multi-seed table missing aggregate summary")
+	}
+	if got := len(par[1].Tables); got != 3 {
+		t.Fatalf("per-seed tables = %d, want 3", got)
+	}
+}
+
+func TestEngineErrorPropagation(t *testing.T) {
+	reg := NewRegistry()
+	boom := errors.New("boom")
+	reg.MustRegister(Experiment{ID: "OK", Kind: KindTable,
+		Table: func(seed int64) (*experiments.Table, error) {
+			return &experiments.Table{ID: "OK", Columns: []string{"m"},
+				Rows: [][]experiments.Cell{{experiments.Int(seed)}}}, nil
+		}})
+	reg.MustRegister(Experiment{ID: "BAD", Kind: KindTable,
+		Table: func(seed int64) (*experiments.Table, error) {
+			if seed == 2 {
+				return nil, boom
+			}
+			return &experiments.Table{ID: "BAD", Columns: []string{"m"},
+				Rows: [][]experiments.Cell{{experiments.Int(seed)}}}, nil
+		}})
+	results, err := reg.RunIDs("all", Options{Seeds: SeedRange(1, 3), Parallel: 4})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("engine error = %v, want boom", err)
+	}
+	if results[0].Err != nil || results[0].Summary == nil {
+		t.Fatalf("healthy experiment should still aggregate: err=%v summary=%v",
+			results[0].Err, results[0].Summary)
+	}
+	if results[1].Err == nil {
+		t.Fatal("failing experiment should carry its error")
+	}
+	if md := results[1].Markdown(); !strings.Contains(md, "failed") {
+		t.Fatalf("failed artifact markdown = %q", md)
+	}
+}
