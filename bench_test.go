@@ -15,6 +15,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/topology"
 )
 
 // mustWorkload resolves a spec or aborts the benchmark.
@@ -311,6 +312,58 @@ func BenchmarkExperimentT1Table(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- S1–S3: stress scenarios (irregular topologies, cascades, density) ---
+
+func BenchmarkStressS1TopologySweep(b *testing.B) {
+	run := lookupTable(b, "S1")
+	for i := 0; i < b.N; i++ {
+		if _, err := run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStressS2CascadeRecovery(b *testing.B) {
+	run := lookupTable(b, "S2")
+	for i := 0; i < b.N; i++ {
+		if _, err := run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStressS3FaultDensity(b *testing.B) {
+	run := lookupTable(b, "S3")
+	for i := 0; i < b.N; i++ {
+		if _, err := run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCascade64Torus isolates the hot path S2 stresses: one cascade
+// recovery on the 64-processor torus, without the table scaffolding.
+func BenchmarkCascade64Torus(b *testing.B) {
+	w := mustWorkload(b, "tree:3,6")
+	topo, err := topology.ByName("torus", 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{Procs: 64, Seed: 1, Recovery: "splice", Topology: "torus"}
+	base := runOnce(b, cfg, w, nil)
+	m0 := int64(base.Makespan)
+	plan := faults.Cascade(topo, 9, m0*3/10, m0/10, 2, 1.0, faults.CrashAnnounced, 1)
+	var last *core.Report
+	for i := 0; i < b.N; i++ {
+		last = runOnce(b, cfg, w, plan)
+		if !last.Completed {
+			b.Fatal("cascade recovery failed")
+		}
+	}
+	b.ReportMetric(float64(last.Makespan)/float64(m0), "slowdown")
+	b.ReportMetric(float64(last.Metrics.Twins+last.Metrics.Reissues), "twins_reissues")
 }
 
 // BenchmarkRunnerSeedSweepSequential and ...Parallel measure the engine's

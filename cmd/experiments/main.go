@@ -14,7 +14,13 @@
 //	experiments -exp T3 -seeds 3         # seeds 1,2,3 with mean/min/max aggregates
 //	experiments -seeds 3 -parallel 8     # fan the (experiment × seed) grid out
 //	experiments -exp T3 -seeds 3 -json   # machine-readable per-seed + aggregate output
+//	experiments -markdown -seeds 5       # self-contained EXPERIMENTS.md document
 //	experiments -list                    # show the registered artifact ids
+//
+// The bare (flagless) output is the concatenated artifact markdown;
+// -markdown wraps it in the committed EXPERIMENTS.md document — provenance
+// header, contents table, then the artifacts — whose bytes are a pure
+// function of the flags, so CI regenerates the file and fails on drift.
 package main
 
 import (
@@ -27,14 +33,19 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "artifacts: all, one id (F1/F2/F5/F6/F7, T1..T7, A1..A4, any case; see -list), or a comma-separated list")
+		exp      = flag.String("exp", "all", "artifacts: all, one id (F1/F2/F5/F6/F7, T1..T7, A1..A4, S1..S3, any case; see -list), or a comma-separated list")
 		seed     = flag.Int64("seed", 1, "base random seed for the quantitative tables")
 		seeds    = flag.Int("seeds", 1, "number of consecutive seeds to sweep (seed, seed+1, ...)")
 		parallel = flag.Int("parallel", 0, "worker goroutines for the (experiment × seed) grid (0 = GOMAXPROCS)")
 		asJSON   = flag.Bool("json", false, "emit JSON (per-seed tables plus aggregates) instead of markdown")
+		asDoc    = flag.Bool("markdown", false, "emit the self-contained EXPERIMENTS.md document (header + contents + artifacts)")
 		list     = flag.Bool("list", false, "list the registered artifacts and exit")
 	)
 	flag.Parse()
+	if *asJSON && *asDoc {
+		fmt.Fprintln(os.Stderr, "experiments: -json and -markdown are mutually exclusive")
+		os.Exit(2)
+	}
 
 	reg := runner.Default()
 	if *list {
@@ -55,14 +66,20 @@ func main() {
 	}
 	// A per-artifact failure still renders everything that succeeded (the
 	// failed artifacts carry their error inline) before exiting non-zero.
-	if *asJSON {
+	switch {
+	case *asJSON:
 		out, err := runner.RenderJSON(results)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Print(out)
-	} else {
+	case *asDoc:
+		fmt.Print(runner.RenderDocument(results, runner.DocumentOptions{
+			Command: runner.DocumentCommand(*exp, *seed, *seeds),
+			Seeds:   runner.SeedRange(*seed, *seeds),
+		}))
+	default:
 		fmt.Print(runner.RenderMarkdown(results))
 	}
 	if runErr != nil {

@@ -1,0 +1,90 @@
+// Cascading faults on an irregular topology: the regime the 1986
+// experiments never reach. A failure starts at one processor of a
+// 64-processor torus and spreads wave by wave to the neighbors of every
+// dead node (a power-domain or switch failure propagating along the
+// physical interconnect). Rollback re-executes lost work from reissued
+// checkpoints — work the next wave promptly destroys again — while splice
+// keeps salvaging orphan results into twins, so the gap between the
+// schemes compounds with every wave. The same plans rerun on a random
+// 4-regular graph to show the protocols don't care about regularity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/runner"
+	"repro/internal/topology"
+)
+
+func main() {
+	const procs = 64
+	seeds := []int64{1, 2, 3}
+	w, err := core.StandardWorkload("tree:3,6")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, kind := range []string{"torus", "regular"} {
+		topo, err := topology.ByName(kind, procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s, %d processors, tree:3,6, cascade origin 9 ==\n", topo.Name(), procs)
+		fmt.Printf("%-22s %-8s %-28s %-28s %s\n",
+			"fault plan", "crashes", "rollback stretch", "splice stretch", "splice vs rollback")
+
+		for _, waves := range []int{0, 1, 2} {
+			stretch := map[string][]float64{}
+			crashes := 0
+			for _, seed := range seeds {
+				cfg := core.Config{Procs: procs, Topology: kind, Seed: seed, Recovery: "rollback"}
+				base, err := cfg.Verify(w, nil)
+				if err != nil {
+					log.Fatal(err)
+				}
+				m0 := int64(base.Makespan)
+				// The cascade starts at 30% of the fault-free makespan and
+				// spreads every 10% of it; the plan is a pure function of
+				// (topology, origin, seed).
+				plan := faults.Cascade(topo, 9, m0*3/10, m0/10, waves, 1.0,
+					faults.CrashAnnounced, seed)
+				crashes = len(plan.Procs())
+				for _, scheme := range []string{"rollback", "splice"} {
+					cfg.Recovery = scheme
+					rep, err := cfg.Run(w, plan)
+					if err != nil {
+						log.Fatal(err)
+					}
+					if !rep.Completed {
+						log.Fatalf("%s under %d waves (seed %d) did not complete", scheme, waves, seed)
+					}
+					stretch[scheme] = append(stretch[scheme], float64(rep.Makespan)/float64(m0))
+				}
+			}
+			deltas := make([]float64, len(seeds))
+			for i := range seeds {
+				deltas[i] = (stretch["splice"][i] - stretch["rollback"][i]) / stretch["rollback"][i]
+			}
+			label := "single crash"
+			if waves > 0 {
+				label = fmt.Sprintf("cascade, %d wave(s)", waves)
+			}
+			ratio := func(xs []float64) string {
+				agg := runner.Fold(xs)
+				agg.Fmt = "%.2fx"
+				return agg.String()
+			}
+			fmt.Printf("%-22s %-8d %-28s %-28s %s (%+.0f%% mean)\n",
+				label, crashes, ratio(stretch["rollback"]), ratio(stretch["splice"]),
+				runner.Classify(deltas), runner.Fold(deltas).Mean*100)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Every run above finishes with the reference answer despite losing up to")
+	fmt.Println("15 of 64 processors mid-run; only the completion time differs. Build your")
+	fmt.Println("own regimes by composing faults.Burst / Cascade / Correlated with Merge.")
+}

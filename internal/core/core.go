@@ -48,7 +48,8 @@ const (
 type Config struct {
 	// Procs is the number of processors (default 8).
 	Procs int
-	// Topology is "mesh", "ring", "hypercube", "complete" or "star"
+	// Topology is any topology.ByName kind: "mesh", "torus", "ring",
+	// "hypercube", "tree", "regular", "complete" or "star"
 	// (default "mesh").
 	Topology string
 	// Placement is "random", "gradient", "static" or "local"

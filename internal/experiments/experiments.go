@@ -1,10 +1,20 @@
-// Package experiments drives the quantitative reproductions T1–T7 and the
-// ablations A1–A4 indexed in DESIGN.md. Each driver runs the real machine
-// (plus the modeled PGC baseline where the paper's comparator is a modeled
-// scheme) and returns a Table whose rows regenerate the corresponding
-// section of EXPERIMENTS.md. cmd/experiments and the top-level benchmarks
-// call the same drivers, so the documentation, the CLI, and `go test
-// -bench` all report the same numbers.
+// Package experiments drives the quantitative reproductions T1–T7, the
+// ablations A1–A4 indexed in DESIGN.md, and the stress scenarios S1–S3
+// (stress.go) that push past the paper's grids: a topology sweep across
+// every interconnect kind at 64 processors, rollback-vs-splice under
+// cascading faults, and a fault-density sweep to the recovery breaking
+// point. Each driver runs the real machine (plus the modeled PGC baseline
+// where the paper's comparator is a modeled scheme) and returns a Table
+// whose rows regenerate the corresponding section of EXPERIMENTS.md.
+// cmd/experiments and the top-level benchmarks call the same drivers, so
+// the documentation, the CLI, and `go test -bench` all report the same
+// numbers.
+//
+// Driver conventions: row 0 of every table is the baseline configuration
+// (internal/runner classifies the other rows' effects against it), and all
+// randomness — including fault-plan draws — flows from the driver's seed
+// argument, so a multi-seed sweep probes different instances while each
+// seed stays exactly reproducible.
 package experiments
 
 import (
@@ -549,6 +559,9 @@ func All(seed int64) ([]*Table, error) {
 		func() (*Table, error) { return A2CheckpointStorage(seed) },
 		func() (*Table, error) { return A3DetectionLatency(seed) },
 		func() (*Table, error) { return A4TopmostSuppression(seed) },
+		func() (*Table, error) { return S1TopologySweep("fib:13", seed) },
+		func() (*Table, error) { return S2CascadeRecovery(seed) },
+		func() (*Table, error) { return S3FaultDensity(seed) },
 	} {
 		tb, err := g()
 		if err != nil {

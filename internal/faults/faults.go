@@ -4,6 +4,15 @@
 // by other processors via timeouts (silent crash). For the §5.3 replicated-
 // task experiments a node may also corrupt computed values ("a faulty node
 // may answer an inquiry with an invalid message") while otherwise behaving.
+//
+// A Plan is a list of (time, processor, kind) injections. Beyond hand-built
+// single crashes, the builders in builders.go generate stress regimes the
+// paper's experiments never reach: Burst (k simultaneous crashes drawn from
+// a seed), Cascade (a failure spreading wave by wave along the interconnect
+// with a per-neighbor spread probability), and Correlated (every processor
+// within a hop radius of a center — a board or rack loss). Builders are
+// pure functions of their arguments, so a seed pins the whole plan; Merge
+// composes independently built plans into one.
 package faults
 
 import (

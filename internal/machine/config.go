@@ -7,6 +7,17 @@
 //
 // The machine runs on the deterministic discrete-event kernel of
 // internal/sim; a run is a pure function of (Config, program, fault plan).
+// That purity is what the experiment engine leans on: (experiment × seed)
+// cells fan out across goroutines with no shared mutable state, and the
+// parallel schedule's output is byte-identical to the sequential one.
+//
+// The machine is topology- and plan-agnostic: Config.Topo accepts any
+// internal/topology shape (the regular 1986 grids or the generator-backed
+// irregular ones) and Run accepts any internal/faults plan (single crashes
+// or the Burst/Cascade/Correlated stress regimes); runs that lose too much
+// capacity to finish stop at Config.Deadline with Report.Completed false
+// rather than erroring, which is how the S3 fault-density sweep locates
+// the recovery breaking point.
 package machine
 
 import (

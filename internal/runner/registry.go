@@ -1,10 +1,14 @@
 // Package runner is the experiment engine: a registry of reproduction
-// artifacts (figures F1–F7, tables T1–T7, ablations A1–A4), a worker pool
-// that fans (experiment × seed) cells out across goroutines, and a stats
-// aggregator that folds per-seed tables into mean/min/max summaries with
-// effect-size classification. cmd/experiments, the top-level benchmarks and
-// the examples all resolve drivers here, so there is exactly one statement
-// of what each artifact runs.
+// artifacts (figures F1–F7, tables T1–T7, ablations A1–A4, stress scenarios
+// S1–S3), a worker pool that fans (experiment × seed) cells out across
+// goroutines, and a stats aggregator that folds per-seed tables into
+// mean/min/max summaries with effect-size classification. cmd/experiments,
+// the top-level benchmarks and the examples all resolve drivers here, so
+// there is exactly one statement of what each artifact runs. RenderDocument
+// turns a full run into the committed EXPERIMENTS.md (self-contained
+// markdown with a provenance header and contents table); CI regenerates
+// that file and fails on drift, so the docs cannot desynchronize from the
+// drivers.
 //
 // Parallel scheduling is safe because every cell builds its own
 // machine.Machine, and each machine owns a private sim.Kernel RNG seeded
@@ -169,8 +173,9 @@ var (
 	defaultReg  *Registry
 )
 
-// Default returns the registry of every artifact indexed in DESIGN.md, with
-// the canonical parameters the report uses.
+// Default returns the registry of every artifact indexed in DESIGN.md plus
+// the stress scenarios S1–S3, with the canonical parameters the report
+// uses.
 func Default() *Registry {
 	defaultOnce.Do(func() {
 		defaultReg = NewRegistry()
@@ -196,6 +201,10 @@ func Default() *Registry {
 			{ID: "A2", Title: "Ablation: checkpoint storage by workload", Kind: KindTable, Table: experiments.A2CheckpointStorage},
 			{ID: "A3", Title: "Ablation: heartbeat period vs recovery", Kind: KindTable, Table: experiments.A3DetectionLatency},
 			{ID: "A4", Title: "Ablation: topmost suppression on/off", Kind: KindTable, Table: experiments.A4TopmostSuppression},
+			{ID: "S1", Title: "Stress: topology sweep at 64 processors", Kind: KindTable,
+				Table: func(seed int64) (*experiments.Table, error) { return experiments.S1TopologySweep("fib:13", seed) }},
+			{ID: "S2", Title: "Stress: rollback vs splice under cascading faults", Kind: KindTable, Table: experiments.S2CascadeRecovery},
+			{ID: "S3", Title: "Stress: fault density to the breaking point", Kind: KindTable, Table: experiments.S3FaultDensity},
 		} {
 			defaultReg.MustRegister(e)
 		}

@@ -14,6 +14,12 @@
 // exactly as the figure prescribes, dry-runs to locate precise virtual
 // times, injects the fault, and returns a result struct that both the test
 // suite and cmd/experiments consume.
+//
+// Scenarios are the narrative complement to the quantitative drivers in
+// internal/experiments: a figure replay asserts *which* protocol actions
+// happened (B5 suppressed, the twin inherited B2's orphans), while a table
+// measures how much they cost. Both register in internal/runner's registry
+// and render into EXPERIMENTS.md through the same pipeline.
 package scenario
 
 import (

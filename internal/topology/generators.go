@@ -1,0 +1,160 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Torus returns a rows×cols grid with wraparound in both dimensions,
+// row-major node ids. Every node has degree 4 on tori of at least 3×3;
+// smaller extents degenerate gracefully (a 1×n torus is a ring). The
+// wraparound halves the mesh diameter, which matters once fault plans kill
+// whole regions: recovery traffic routes around the hole instead of
+// funnelling through a grid corner.
+func Torus(rows, cols int) (Topology, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("topology: torus needs ≥ 2 nodes, got %dx%d", rows, cols)
+	}
+	n := rows * cols
+	adj := make([][]NodeID, n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			id := NodeID(r*cols + c)
+			seen := map[NodeID]bool{id: true} // drop self-loops and duplicate wrap edges
+			var nb []NodeID
+			for _, cand := range []NodeID{
+				NodeID(((r-1+rows)%rows)*cols + c),
+				NodeID(((r+1)%rows)*cols + c),
+				NodeID(r*cols + (c-1+cols)%cols),
+				NodeID(r*cols + (c+1)%cols),
+			} {
+				if !seen[cand] {
+					seen[cand] = true
+					nb = append(nb, cand)
+				}
+			}
+			sortNodeIDs(nb)
+			adj[id] = nb
+		}
+	}
+	return build(fmt.Sprintf("torus(%dx%d)", rows, cols), adj)
+}
+
+// BinaryTree returns a complete binary tree of n nodes: node i's children
+// are 2i+1 and 2i+2 (when < n), the root is node 0. Trees are the
+// worst-case topology for the recovery protocols — every internal node is a
+// cut vertex, so a single crash partitions the survivors and all re-placed
+// work must route through the root region.
+func BinaryTree(n int) (Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: binary tree needs ≥ 2 nodes, got %d", n)
+	}
+	adj := make([][]NodeID, n)
+	for i := 0; i < n; i++ {
+		var nb []NodeID
+		if i > 0 {
+			nb = append(nb, NodeID((i-1)/2))
+		}
+		if l := 2*i + 1; l < n {
+			nb = append(nb, NodeID(l))
+		}
+		if r := 2*i + 2; r < n {
+			nb = append(nb, NodeID(r))
+		}
+		sortNodeIDs(nb)
+		adj[i] = nb
+	}
+	return build(fmt.Sprintf("btree(%d)", n), adj)
+}
+
+// maxRegularAttempts bounds the configuration-model rejection loop. For the
+// sizes and degrees the simulator uses (d ≥ 2, n ≤ a few hundred) a sample
+// is simple and connected with probability well above 1/e, so hitting the
+// bound signals an infeasible request rather than bad luck.
+const maxRegularAttempts = 1000
+
+// RandomRegular returns a uniformly sampled simple connected d-regular
+// graph on n nodes via the configuration model: shuffle n·d stubs, pair
+// them, and reject samples with self-loops, parallel edges, or disconnected
+// components. The result is a pure function of (n, degree, seed), so
+// experiments that share a seed share the graph. Requires 1 ≤ degree < n
+// and n·degree even; degree 1 is only connected for n == 2.
+func RandomRegular(n, degree int, seed int64) (Topology, error) {
+	switch {
+	case n < 2:
+		return nil, fmt.Errorf("topology: random regular graph needs ≥ 2 nodes, got %d", n)
+	case degree < 1 || degree >= n:
+		return nil, fmt.Errorf("topology: degree %d out of range [1,%d) for %d nodes", degree, n, n)
+	case n*degree%2 != 0:
+		return nil, fmt.Errorf("topology: n·degree = %d·%d is odd, no such graph", n, degree)
+	case degree == 1 && n != 2:
+		return nil, fmt.Errorf("topology: a 1-regular graph on %d nodes is disconnected", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stubs := make([]NodeID, 0, n*degree)
+	for i := 0; i < n; i++ {
+		for d := 0; d < degree; d++ {
+			stubs = append(stubs, NodeID(i))
+		}
+	}
+	for attempt := 0; attempt < maxRegularAttempts; attempt++ {
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		adj, ok := pairStubs(n, stubs)
+		if !ok || !connected(adj) {
+			continue
+		}
+		for i := range adj {
+			sortNodeIDs(adj[i])
+		}
+		return build(fmt.Sprintf("regular(%d,d=%d,seed=%d)", n, degree, seed), adj)
+	}
+	return nil, fmt.Errorf("topology: no simple connected %d-regular graph on %d nodes after %d attempts",
+		degree, n, maxRegularAttempts)
+}
+
+// pairStubs matches consecutive shuffled stubs into edges, rejecting
+// self-loops and parallel edges.
+func pairStubs(n int, stubs []NodeID) ([][]NodeID, bool) {
+	adj := make([][]NodeID, n)
+	seen := make(map[[2]NodeID]bool, len(stubs)/2)
+	for i := 0; i < len(stubs); i += 2 {
+		a, b := stubs[i], stubs[i+1]
+		if a == b {
+			return nil, false
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]NodeID{a, b}
+		if seen[key] {
+			return nil, false
+		}
+		seen[key] = true
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	return adj, true
+}
+
+// connected reports whether the adjacency list forms one component.
+func connected(adj [][]NodeID) bool {
+	if len(adj) == 0 {
+		return false
+	}
+	visited := make([]bool, len(adj))
+	queue := []NodeID{0}
+	visited[0] = true
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !visited[v] {
+				visited[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return count == len(adj)
+}

@@ -4,6 +4,15 @@
 // network (§1); the recovery protocols are topology-agnostic, but message
 // cost (hop count) and the gradient-model load balancer (§3.3) both need
 // neighbor structure and routing.
+//
+// Two families are provided. The regular shapes of the 1986 experiments —
+// Ring, Mesh2D, Hypercube (validated to dimension 6, 64 processors),
+// Complete, Star — and generator-backed irregular shapes for the stress
+// scenarios: Torus (wraparound mesh), BinaryTree (every internal node a cut
+// vertex), and RandomRegular (a seeded configuration-model sample, so runs
+// sharing a seed share the graph). All of them precompute BFS next-hop and
+// distance tables at construction; ByName maps CLI spec strings to
+// constructors so every experiment can name any shape.
 package topology
 
 import (
@@ -195,9 +204,33 @@ func Star(n int) (Topology, error) {
 	return build(fmt.Sprintf("star(%d)", n), adj)
 }
 
-// ByName constructs a topology from a short spec string, used by CLIs:
-// "ring", "mesh", "hypercube", "complete", "star". Mesh picks the most
-// square factorization of n; hypercube requires n to be a power of two.
+// DefaultRegularSeed fixes the graph ByName("regular", n) samples, so every
+// caller that names the kind gets the same (reproducible) irregular network.
+// Callers that want a different sample use RandomRegular directly.
+const DefaultRegularSeed = 1
+
+// DefaultRegularDegree is the target degree for ByName("regular", n): 4,
+// matching the torus/mesh interior degree so the kinds compare like for
+// like, capped at n-1 on tiny networks.
+func DefaultRegularDegree(n int) int {
+	if n <= 4 {
+		return n - 1
+	}
+	return 4
+}
+
+// Kinds lists the spec strings ByName accepts, in the order the topology
+// sweep experiments report them.
+func Kinds() []string {
+	return []string{"mesh", "torus", "ring", "hypercube", "tree", "regular", "star", "complete"}
+}
+
+// ByName constructs a topology from a short spec string, used by CLIs and
+// core.Config: "ring", "mesh", "torus", "hypercube", "tree" (complete binary
+// tree), "regular" (seeded random 4-regular graph), "complete", "star".
+// Mesh and torus pick the most square factorization of n; hypercube requires
+// n to be a power of two; "regular" samples with DefaultRegularSeed and
+// DefaultRegularDegree so the graph is reproducible across runs.
 func ByName(kind string, n int) (Topology, error) {
 	switch kind {
 	case "ring":
@@ -205,11 +238,18 @@ func ByName(kind string, n int) (Topology, error) {
 	case "mesh":
 		r, c := squarest(n)
 		return Mesh2D(r, c)
+	case "torus":
+		r, c := squarest(n)
+		return Torus(r, c)
 	case "hypercube":
 		if n <= 0 || n&(n-1) != 0 {
 			return nil, fmt.Errorf("topology: hypercube size %d is not a power of two", n)
 		}
 		return Hypercube(bits.TrailingZeros(uint(n)))
+	case "tree", "btree":
+		return BinaryTree(n)
+	case "regular", "random-regular":
+		return RandomRegular(n, DefaultRegularDegree(n), DefaultRegularSeed)
 	case "complete":
 		return Complete(n)
 	case "star":
