@@ -108,7 +108,7 @@ func BenchmarkOverheadNoFaultTolerance(b *testing.B) {
 		last = runOnce(b, core.Config{Procs: 8, Seed: 1, DisableCheckpoints: true}, w, nil)
 	}
 	b.ReportMetric(float64(last.Makespan), "vticks")
-	b.ReportMetric(float64(last.Metrics.TotalMessages()), "msgs")
+	b.ReportMetric(float64(last.Sim.Metrics.TotalMessages()), "msgs")
 }
 
 func BenchmarkOverheadFunctionalCkpt(b *testing.B) {
@@ -118,7 +118,7 @@ func BenchmarkOverheadFunctionalCkpt(b *testing.B) {
 		last = runOnce(b, core.Config{Procs: 8, Seed: 1, Recovery: "rollback"}, w, nil)
 	}
 	b.ReportMetric(float64(last.Makespan), "vticks")
-	b.ReportMetric(float64(last.Metrics.CheckpointBytes), "ckptB")
+	b.ReportMetric(float64(last.Sim.Metrics.CheckpointBytes), "ckptB")
 }
 
 func BenchmarkOverheadPeriodicGlobalModel(b *testing.B) {
@@ -128,7 +128,7 @@ func BenchmarkOverheadPeriodicGlobalModel(b *testing.B) {
 	var pause int64
 	for i := 0; i < b.N; i++ {
 		rep := runOnce(b, cfg, w, nil)
-		out, err := baseline.Model(baseline.DefaultPGCParams(int64(rep.Makespan)/10), rep)
+		out, err := baseline.Model(baseline.DefaultPGCParams(int64(rep.Makespan)/10), rep.Sim)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -152,7 +152,7 @@ func benchRecoveryAt(b *testing.B, scheme string, frac int64) {
 		}
 	}
 	b.ReportMetric(float64(last.Makespan)/float64(base.Makespan), "slowdown")
-	b.ReportMetric(float64(last.Metrics.StepsExecuted-base.Metrics.StepsExecuted), "extra_steps")
+	b.ReportMetric(float64(last.Sim.Metrics.StepsExecuted-base.Sim.Metrics.StepsExecuted), "extra_steps")
 }
 
 func BenchmarkRecoveryRollbackEarlyFault(b *testing.B) { benchRecoveryAt(b, "rollback", 20) }
@@ -206,8 +206,8 @@ func benchReplication(b *testing.B, r int) {
 	for i := 0; i < b.N; i++ {
 		last = runOnce(b, cfg, w, plan)
 	}
-	b.ReportMetric(float64(last.Metrics.Votes), "votes")
-	b.ReportMetric(float64(last.Metrics.MsgTask), "task_msgs")
+	b.ReportMetric(float64(last.Sim.Metrics.Votes), "votes")
+	b.ReportMetric(float64(last.Sim.Metrics.MsgTask), "task_msgs")
 }
 
 func BenchmarkReplicationVotingR1(b *testing.B) { benchReplication(b, 1) }
@@ -245,7 +245,7 @@ func BenchmarkTMRBaseline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		last = runOnce(b, cfg, w, nil)
 	}
-	b.ReportMetric(float64(last.Metrics.StepsExecuted), "steps")
+	b.ReportMetric(float64(last.Sim.Metrics.StepsExecuted), "steps")
 }
 
 // --- Ablations ---
@@ -259,7 +259,7 @@ func BenchmarkAblationEagerAbort(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		last = runOnce(b, cfg, w, faults.Crash(1, at, true))
 	}
-	b.ReportMetric(float64(last.Metrics.StepsWasted), "wasted_steps")
+	b.ReportMetric(float64(last.Sim.Metrics.StepsWasted), "wasted_steps")
 }
 
 func BenchmarkAblationLazyAbort(b *testing.B) {
@@ -271,7 +271,7 @@ func BenchmarkAblationLazyAbort(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		last = runOnce(b, cfg, w, faults.Crash(1, at, true))
 	}
-	b.ReportMetric(float64(last.Metrics.StepsWasted), "wasted_steps")
+	b.ReportMetric(float64(last.Sim.Metrics.StepsWasted), "wasted_steps")
 }
 
 func BenchmarkAblationNoSuppression(b *testing.B) {
@@ -283,7 +283,7 @@ func BenchmarkAblationNoSuppression(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		last = runOnce(b, cfg, w, faults.Crash(1, at, true))
 	}
-	b.ReportMetric(float64(last.Metrics.Reissues), "reissues")
+	b.ReportMetric(float64(last.Sim.Metrics.Reissues), "reissues")
 }
 
 // --- End-to-end table generation through the runner registry ---
@@ -363,7 +363,7 @@ func BenchmarkCascade64Torus(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(last.Makespan)/float64(m0), "slowdown")
-	b.ReportMetric(float64(last.Metrics.Twins+last.Metrics.Reissues), "twins_reissues")
+	b.ReportMetric(float64(last.Sim.Metrics.Twins+last.Sim.Metrics.Reissues), "twins_reissues")
 }
 
 // BenchmarkRunnerSeedSweepSequential and ...Parallel measure the engine's

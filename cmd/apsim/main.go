@@ -23,6 +23,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/faults"
 	"repro/internal/lang"
+	_ "repro/internal/livenet" // register the "live" backend
 	"repro/internal/proto"
 )
 
@@ -39,6 +40,7 @@ func main() {
 		ancestors = flag.Int("ancestors", 2, "ancestor-pointer depth K (§5.2)")
 		replicate = flag.Int("replicate", 1, "replica count for every function (§5.3; requires -recovery none)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		backend   = flag.String("backend", "sim", "execution backend: sim (virtual time) or live (goroutine cluster, wall time)")
 		faultSpec = flag.String("fault", "", "fault plan, e.g. 2@3000 or 1@2000s,3@4000c")
 		showTrace = flag.Bool("trace", false, "print the event trace")
 		deadline  = flag.Int64("deadline", 0, "virtual-time budget (0 = default)")
@@ -84,15 +86,15 @@ func main() {
 			cfg.Replication[fn] = *replicate
 		}
 	}
-	rep, err := cfg.Run(w, plan)
+	rep, err := cfg.RunOn(*backend, w, plan)
 	if err != nil {
 		fatal(err)
 	}
 	if rep.Err != nil {
 		fatal(rep.Err)
 	}
-	if *showTrace && rep.Log != nil {
-		fmt.Print(rep.Log.String())
+	if *showTrace && rep.Sim != nil && rep.Sim.Log != nil {
+		fmt.Print(rep.Sim.Log.String())
 		fmt.Println()
 	}
 	label := *workload
@@ -100,8 +102,13 @@ func main() {
 		label = fmt.Sprintf("%s:%s(%s)", *program, *entry, *argSpec)
 	}
 	fmt.Printf("workload   : %s\n", label)
-	fmt.Printf("machine    : %d processors, %s, placement=%s, recovery=%s, seed=%d\n",
-		rep.Procs, *topo, rep.Placement, rep.Scheme, *seed)
+	if rep.Sim != nil {
+		fmt.Printf("machine    : %d processors, %s, placement=%s, recovery=%s, seed=%d\n",
+			rep.Procs, *topo, rep.Placement, rep.Scheme, *seed)
+	} else {
+		fmt.Printf("machine    : %d live goroutine nodes (backend=%s), placement=%s, recovery=%s, seed=%d\n",
+			rep.Procs, rep.Backend, rep.Placement, rep.Scheme, *seed)
+	}
 	if len(plan.Faults) > 0 {
 		fmt.Printf("faults     : %v\n", plan.Faults)
 	}
@@ -119,10 +126,17 @@ func main() {
 	} else {
 		fmt.Printf("answer     : NONE — run did not complete by t=%d\n", rep.Makespan)
 	}
-	fmt.Printf("makespan   : %d virtual ticks (%d events)\n", rep.Makespan, rep.Events)
-	fmt.Println("metrics    :")
-	for _, row := range rep.Metrics.Rows() {
-		fmt.Printf("  %s\n", row)
+	if rep.Sim != nil {
+		fmt.Printf("makespan   : %d virtual ticks (%d events)\n", rep.Makespan, rep.Sim.Events)
+		fmt.Println("metrics    :")
+		for _, row := range rep.Sim.Metrics.Rows() {
+			fmt.Printf("  %s\n", row)
+		}
+	} else {
+		fmt.Printf("makespan   : %d µs wall clock\n", rep.Makespan)
+		fmt.Printf("counters   : %d messages, %d spawned, %d reissued, %d drained\n",
+			rep.Messages, rep.Spawned, rep.Reissued, rep.Drained)
+		fmt.Printf("reissues   : per node %v\n", rep.ReissuesByNode)
 	}
 }
 

@@ -1,0 +1,212 @@
+// Command benchdiff compares two BENCH_N.json snapshots (the -json output
+// of cmd/experiments) and flags performance regressions: for every table
+// artifact present in both snapshots it extracts the makespan/vticks and
+// message columns, averages them across rows and seeds, and reports the
+// relative change. Any tracked metric growing past the threshold (default
+// +10%) is a regression and the command exits non-zero, so CI can gate on
+// consecutive committed snapshots:
+//
+//	benchdiff BENCH_1.json BENCH_2.json
+//	benchdiff -threshold 0.05 -all BENCH_1.json BENCH_2.json
+//
+// Artifacts present in only one snapshot (new or retired experiments, or
+// live-backend artifacts skipped in sim-only snapshots) are listed but never
+// count as regressions; figures carry no numbers and are ignored.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// snapResult is the slice of one artifact's entry in a snapshot file. Only
+// the fields benchdiff needs are decoded; everything else is ignored.
+type snapResult struct {
+	ID      string               `json:"id"`
+	Kind    string               `json:"kind"`
+	Skipped string               `json:"skipped"`
+	Tables  []*experiments.Table `json:"tables"`
+}
+
+// metrics is an artifact's tracked per-seed-averaged measurements by class.
+type metrics map[string]float64
+
+// tracked maps a column name to the metric class benchdiff watches. Matching
+// is by substring on the lower-cased column, so "makespan (ckpt)" and
+// "task messages" count while labels like "scheme" do not. Units never mix:
+// wall-clock columns (µs) form their own class, and live-backend columns are
+// prefixed so a sim vtick count is never averaged with a wall measurement.
+func tracked(column string) (string, bool) {
+	c := strings.ToLower(column)
+	var class string
+	switch {
+	case strings.Contains(c, "µs"):
+		class = "wall-µs"
+	case strings.Contains(c, "makespan"):
+		class = "vticks"
+	case strings.Contains(c, "messages") || strings.Contains(c, "msgs"):
+		class = "messages"
+	default:
+		return "", false
+	}
+	if strings.Contains(c, "live") {
+		class = "live-" + class
+	}
+	return class, true
+}
+
+// gated reports whether a metric class counts toward the regression exit
+// code. Wall-clock classes are machine-dependent, so they are printed for
+// information but never fail the gate.
+func gated(class string) bool { return !strings.Contains(class, "wall") }
+
+// load reads a snapshot and folds each table artifact into its tracked
+// metrics: the mean over every numeric cell of a tracked column, over every
+// row and seed. Averaging keeps the quantity comparable when a table's row
+// count is stable, which committed snapshots at fixed flags guarantee.
+func load(path string) (map[string]metrics, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var results []snapResult
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]metrics{}
+	var order []string
+	for _, r := range results {
+		if r.Kind != "table" || r.Skipped != "" || len(r.Tables) == 0 {
+			continue
+		}
+		sums, counts := metrics{}, map[string]int{}
+		for _, tb := range r.Tables {
+			for ci, col := range tb.Columns {
+				class, ok := tracked(col)
+				if !ok {
+					continue
+				}
+				for _, row := range tb.Rows {
+					if ci < len(row) && row[ci].IsNum {
+						sums[class] += row[ci].Num
+						counts[class]++
+					}
+				}
+			}
+		}
+		m := metrics{}
+		for class, sum := range sums {
+			m[class] = sum / float64(counts[class])
+		}
+		if len(m) > 0 {
+			out[r.ID] = m
+			order = append(order, r.ID)
+		}
+	}
+	return out, order, nil
+}
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 0.10, "relative growth that counts as a regression")
+		all       = flag.Bool("all", false, "print every comparison, not just changes beyond ±threshold")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold F] [-all] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldPath, newPath := flag.Arg(0), flag.Arg(1)
+	oldM, _, err := load(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newM, newOrder, err := load(newPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	regressions := 0
+	fmt.Printf("benchdiff %s → %s (threshold +%.0f%%)\n", oldPath, newPath, *threshold*100)
+	for _, id := range newOrder {
+		before, ok := oldM[id]
+		if !ok {
+			fmt.Printf("  %-4s added (no baseline)\n", id)
+			continue
+		}
+		for _, class := range classesOf(before, newM[id]) {
+			b, haveOld := before[class]
+			n, haveNew := newM[id][class]
+			// A class on only one side is a renamed or added column, not a
+			// ±100% swing; report it so coverage loss is visible.
+			if !haveOld {
+				fmt.Printf("  %-4s %-9s new metric (no baseline)\n", id, class)
+				continue
+			}
+			if !haveNew {
+				fmt.Printf("  %-4s %-9s missing from the new snapshot\n", id, class)
+				continue
+			}
+			if b == 0 {
+				continue
+			}
+			delta := (n - b) / b
+			mark := " "
+			if delta > *threshold {
+				if gated(class) {
+					mark = "✗"
+					regressions++
+				} else {
+					mark = "!"
+				}
+			} else if delta < -*threshold {
+				mark = "✓"
+			}
+			if *all || mark != " " {
+				fmt.Printf("%s %-4s %-9s %12.1f → %12.1f  %+6.1f%%\n", mark, id, class, b, n, delta*100)
+			}
+		}
+	}
+	var removed []string
+	for id := range oldM {
+		if _, ok := newM[id]; !ok {
+			removed = append(removed, id)
+		}
+	}
+	sort.Strings(removed)
+	for _, id := range removed {
+		fmt.Printf("  %-4s removed from the new snapshot\n", id)
+	}
+	if regressions > 0 {
+		fmt.Printf("FAIL: %d metric(s) regressed beyond +%.0f%%\n", regressions, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("OK: no regressions beyond the threshold")
+}
+
+// classesOf lists the metric classes either side carries, sorted.
+func classesOf(a, b metrics) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range []metrics{a, b} {
+		for class := range m {
+			if !seen[class] {
+				seen[class] = true
+				out = append(out, class)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

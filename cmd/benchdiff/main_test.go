@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const fixtureOld = `[
+  {"id": "F1", "kind": "figure", "figure": "### F1\n"},
+  {"id": "T1", "kind": "table", "seeds": [1, 2], "tables": [
+    {"id": "T1", "columns": ["scheme", "makespan", "messages"],
+     "rows": [[{"text": "a"}, {"text": "100", "num": 100}, {"text": "10", "num": 10}],
+              [{"text": "b"}, {"text": "200", "num": 200}, {"text": "30", "num": 30}]]},
+    {"id": "T1", "columns": ["scheme", "makespan", "messages"],
+     "rows": [[{"text": "a"}, {"text": "120", "num": 120}, {"text": "10", "num": 10}],
+              [{"text": "b"}, {"text": "220", "num": 220}, {"text": "30", "num": 30}]]}
+  ]},
+  {"id": "GONE", "kind": "table", "tables": [
+    {"id": "GONE", "columns": ["makespan"], "rows": [[{"text": "5", "num": 5}]]}
+  ]}
+]`
+
+const fixtureNew = `[
+  {"id": "T1", "kind": "table", "seeds": [1], "tables": [
+    {"id": "T1", "columns": ["scheme", "makespan", "messages"],
+     "rows": [[{"text": "a"}, {"text": "300", "num": 300}, {"text": "10", "num": 10}],
+              [{"text": "b"}, {"text": "340", "num": 340}, {"text": "30", "num": 30}]]}
+  ]},
+  {"id": "L1", "kind": "table", "skipped": "needs backend live"},
+  {"id": "NEW", "kind": "table", "tables": [
+    {"id": "NEW", "columns": ["wire bytes"], "rows": [[{"text": "1", "num": 1}]]}
+  ]}
+]`
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadExtractsTrackedMetrics(t *testing.T) {
+	m, order, err := load(write(t, "old.json", fixtureOld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figures are ignored; T1 and GONE carry tracked columns.
+	if len(order) != 2 || order[0] != "T1" {
+		t.Fatalf("order = %v", order)
+	}
+	// T1 vticks: mean of 100,200,120,220 = 160; messages: mean of 10,30 ×2 = 20.
+	if got := m["T1"]["vticks"]; got != 160 {
+		t.Fatalf("T1 vticks = %v, want 160", got)
+	}
+	if got := m["T1"]["messages"]; got != 20 {
+		t.Fatalf("T1 messages = %v, want 20", got)
+	}
+}
+
+func TestLoadSkipsSkippedAndUntracked(t *testing.T) {
+	m, order, err := load(write(t, "new.json", fixtureNew))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L1 was skipped (live-only) and NEW has no tracked column.
+	if len(order) != 1 || order[0] != "T1" {
+		t.Fatalf("order = %v", order)
+	}
+	// T1 regressed: vticks 160 → 320 (+100%).
+	if got := m["T1"]["vticks"]; got != 320 {
+		t.Fatalf("T1 vticks = %v, want 320", got)
+	}
+}
+
+func TestVanishedClassIsNotAnImprovement(t *testing.T) {
+	// T1 keeps makespan but loses its messages column: the class must load
+	// as absent (so main reports it missing), not as a zero that would
+	// read as a -100% improvement.
+	renamed := `[
+	  {"id": "T1", "kind": "table", "tables": [
+	    {"id": "T1", "columns": ["makespan", "traffic"],
+	     "rows": [[{"text": "100", "num": 100}, {"text": "10", "num": 10}]]}
+	  ]}
+	]`
+	m, _, err := load(write(t, "renamed.json", renamed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["T1"]["messages"]; ok {
+		t.Fatal("renamed column still loads as the messages class")
+	}
+	if got := m["T1"]["vticks"]; got != 100 {
+		t.Fatalf("vticks = %v, want 100", got)
+	}
+}
+
+func TestTracked(t *testing.T) {
+	cases := map[string]string{
+		"makespan":              "vticks",
+		"makespan (ckpt)":       "vticks",
+		"makespan (µs)":         "wall-µs",
+		"sim makespan (vticks)": "vticks",
+		"live makespan (µs)":    "live-wall-µs",
+		"messages":              "messages",
+		"task messages":         "messages",
+		"ckpt msgs/task":        "messages",
+		"sim messages":          "messages",
+		"live messages":         "live-messages",
+		"scheme":                "",
+		"wire bytes":            "",
+	}
+	for col, want := range cases {
+		got, ok := tracked(col)
+		if (want == "") == ok || got != want {
+			t.Errorf("tracked(%q) = %q,%v want %q", col, got, ok, want)
+		}
+	}
+	// Wall-clock classes inform but never gate.
+	for class, want := range map[string]bool{
+		"vticks": true, "messages": true, "live-messages": true,
+		"wall-µs": false, "live-wall-µs": false,
+	} {
+		if gated(class) != want {
+			t.Errorf("gated(%q) = %v, want %v", class, gated(class), want)
+		}
+	}
+}

@@ -10,12 +10,19 @@
 //	experiments                          # everything, one seed
 //	experiments -exp f1                  # one artifact (ids are case-insensitive)
 //	experiments -exp T3,T6               # a comma-separated subset
+//	experiments -run T3,T6               # same (-run is an alias for -exp)
 //	experiments -seed 7                  # different base seed
 //	experiments -exp T3 -seeds 3         # seeds 1,2,3 with mean/min/max aggregates
 //	experiments -seeds 3 -parallel 8     # fan the (experiment × seed) grid out
 //	experiments -exp T3 -seeds 3 -json   # machine-readable per-seed + aggregate output
 //	experiments -markdown -seeds 5       # self-contained EXPERIMENTS.md document
-//	experiments -list                    # show the registered artifact ids
+//	experiments -backend live -run L1,L2 # live-backend artifacts on real goroutines
+//	experiments -list                    # show the registered artifact ids + backends
+//
+// Artifacts declare the core backend they need; with -backend sim (the
+// default) the live-only artifacts render a deterministic skip note, and
+// with -backend live the sim-only ones do, so committed documents stay
+// byte-reproducible while wall-clock measurements stay on demand.
 //
 // The bare (flagless) output is the concatenated artifact markdown;
 // -markdown wraps it in the committed EXPERIMENTS.md document — provenance
@@ -27,16 +34,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/core"
 	"repro/internal/runner"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "artifacts: all, one id (F1/F2/F5/F6/F7, T1..T7, A1..A4, S1..S3, any case; see -list), or a comma-separated list")
+		exp      = flag.String("exp", "all", "artifacts: all, one id (F1/F2/F5/F6/F7, T1..T7, A1..A4, S1..S3, L1..L2, any case; see -list), or a comma-separated list")
+		run      = flag.String("run", "", "alias for -exp (takes precedence when set)")
+		backend  = flag.String("backend", "sim", "execution backend: sim (discrete-event simulator) or live (goroutine cluster); artifacts not declaring the backend render a skip note")
 		seed     = flag.Int64("seed", 1, "base random seed for the quantitative tables")
 		seeds    = flag.Int("seeds", 1, "number of consecutive seeds to sweep (seed, seed+1, ...)")
-		parallel = flag.Int("parallel", 0, "worker goroutines for the (experiment × seed) grid (0 = GOMAXPROCS)")
+		parallel = flag.Int("parallel", 0, "worker goroutines for the (experiment × seed) grid (0 = GOMAXPROCS; -backend live always runs sequentially so wall-clock makespans measure the workload, not pool contention)")
 		asJSON   = flag.Bool("json", false, "emit JSON (per-seed tables plus aggregates) instead of markdown")
 		asDoc    = flag.Bool("markdown", false, "emit the self-contained EXPERIMENTS.md document (header + contents + artifacts)")
 		list     = flag.Bool("list", false, "list the registered artifacts and exit")
@@ -46,19 +57,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: -json and -markdown are mutually exclusive")
 		os.Exit(2)
 	}
+	expSet := false
+	flag.Visit(func(f *flag.Flag) { expSet = expSet || f.Name == "exp" })
+	if expSet && *run != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -exp and -run select the same thing; pass only one")
+		os.Exit(2)
+	}
+	request := *exp
+	if *run != "" {
+		request = *run
+	}
+	if _, err := core.ByName(*backend); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
 
 	reg := runner.Default()
 	if *list {
 		for _, id := range reg.IDs() {
 			e, _ := reg.Lookup(id)
-			fmt.Printf("%-4s %-7s %s\n", e.ID, e.Kind, e.Title)
+			fmt.Printf("%-4s %-7s %-8s %s\n", e.ID, e.Kind, strings.Join(e.BackendList(), "|"), e.Title)
 		}
 		return
 	}
 
-	results, runErr := reg.RunIDs(*exp, runner.Options{
+	results, runErr := reg.RunIDs(request, runner.Options{
 		Seeds:    runner.SeedRange(*seed, *seeds),
 		Parallel: *parallel,
+		Backend:  *backend,
 	})
 	if runErr != nil && results == nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", runErr)
@@ -76,7 +102,7 @@ func main() {
 		fmt.Print(out)
 	case *asDoc:
 		fmt.Print(runner.RenderDocument(results, runner.DocumentOptions{
-			Command: runner.DocumentCommand(*exp, *seed, *seeds),
+			Command: runner.DocumentCommand(request, *backend, *seed, *seeds),
 			Seeds:   runner.SeedRange(*seed, *seeds),
 		}))
 	default:

@@ -46,7 +46,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("fault-free : binom(14,6) = %v in %d ticks (%d tasks)\n",
-		clean.Answer, clean.Makespan, clean.Metrics.TasksSpawned)
+		clean.Answer, clean.Makespan, clean.Sim.Metrics.TasksSpawned)
 
 	at := int64(clean.Makespan) / 3
 	rep, err := cfg.Verify(w, core.CrashPlan(5, at, false))
@@ -56,5 +56,5 @@ func main() {
 	fmt.Printf("with crash : binom(14,6) = %v in %d ticks (%.2fx), %d twins, %d orphan results spliced\n",
 		rep.Answer, rep.Makespan,
 		float64(rep.Makespan)/float64(clean.Makespan),
-		rep.Metrics.Twins, rep.Metrics.Relayed)
+		rep.Sim.Metrics.Twins, rep.Sim.Metrics.Relayed)
 }

@@ -33,7 +33,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("fault-free : %v solutions, makespan %d, %d tasks\n",
-		clean.Answer, clean.Makespan, clean.Metrics.TasksSpawned)
+		clean.Answer, clean.Makespan, clean.Sim.Metrics.TasksSpawned)
 
 	// Two announced crashes on different processors, spread over the run.
 	plan := faults.None().
@@ -44,7 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m := rep.Metrics
+	m := rep.Sim.Metrics
 	fmt.Printf("two crashes: %v solutions, makespan %d (%.2fx)\n",
 		rep.Answer, rep.Makespan, float64(rep.Makespan)/float64(clean.Makespan))
 	fmt.Printf("splice     : %d twins created, %d orphan results escalated, %d relayed, %d inherited without respawn, %d duplicates ignored\n",
@@ -53,7 +53,7 @@ func main() {
 	// Show the recovery-related slice of the trace.
 	fmt.Println("\nrecovery events:")
 	shown := 0
-	for _, e := range rep.Log.Events {
+	for _, e := range rep.Sim.Log.Events {
 		switch e.Kind {
 		case trace.KFail, trace.KTwin, trace.KOrphanResult, trace.KRelay, trace.KPrefill:
 			fmt.Printf("  %s\n", e)

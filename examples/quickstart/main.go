@@ -35,7 +35,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("fault-free : answer=%v makespan=%d ticks, %d tasks\n",
-		clean.Answer, clean.Makespan, clean.Metrics.TasksSpawned)
+		clean.Answer, clean.Makespan, clean.Sim.Metrics.TasksSpawned)
 
 	// Now crash processor 3 (without warning) halfway through.
 	at := int64(clean.Makespan) / 2
@@ -47,9 +47,9 @@ func main() {
 	fmt.Printf("with crash : answer=%v makespan=%d ticks (%.2fx)\n",
 		rep.Answer, rep.Makespan, float64(rep.Makespan)/float64(clean.Makespan))
 	fmt.Printf("recovery   : %d tasks lost with processor 3, %d checkpoints reissued, %d tasks re-executed then aborted\n",
-		rep.Metrics.TasksLost, rep.Metrics.Reissues, rep.Metrics.TasksAborted)
+		rep.Sim.Metrics.TasksLost, rep.Sim.Metrics.Reissues, rep.Sim.Metrics.TasksAborted)
 	fmt.Printf("detection  : silent crash discovered after %d ticks\n",
-		rep.Metrics.DetectLatencySum)
+		rep.Sim.Metrics.DetectLatencySum)
 	fmt.Println()
 	fmt.Println("The answer is identical in both runs: applicative determinacy (§2.1)")
 	fmt.Println("means re-invoking a retained task packet always reproduces the result.")

@@ -45,7 +45,7 @@ func main() {
 		}
 		fmt.Printf("%-14s %-10v %-8v %-16d %-12d\n",
 			label, rep.Answer, rep.Answer.Equal(want),
-			rep.Metrics.VoteMismatches, rep.Metrics.MsgTask)
+			rep.Sim.Metrics.VoteMismatches, rep.Sim.Metrics.MsgTask)
 	}
 	fmt.Println()
 	fmt.Println("R=1 completes quickly but wrongly — crash recovery cannot mask value")

@@ -123,10 +123,10 @@ func TestModelOnRealRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.StateSamples) == 0 {
+	if len(rep.Sim.StateSamples) == 0 {
 		t.Fatal("no state samples collected")
 	}
-	out, err := Model(DefaultPGCParams(int64(rep.Makespan)/10), rep)
+	out, err := Model(DefaultPGCParams(int64(rep.Makespan)/10), rep.Sim)
 	if err != nil {
 		t.Fatal(err)
 	}

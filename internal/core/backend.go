@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/faults"
+	"repro/internal/lang"
+	"repro/internal/machine"
+)
+
+// TimeUnit names the unit a backend measures makespan in: the simulator
+// counts virtual ticks, the live goroutine network counts wall microseconds.
+type TimeUnit string
+
+// The two units backends report in.
+const (
+	Ticks      TimeUnit = "vticks"
+	WallMicros TimeUnit = "µs"
+)
+
+// Report is the backend-neutral outcome of a run: what every substrate can
+// measure about an applicative evaluation under faults. Substrate-specific
+// detail hangs off Sim (the simulator's full report) and Live (per-node
+// counters); callers that only need the paper-level quantities — did it
+// finish, with what answer, at what cost — never touch either.
+type Report struct {
+	// Backend names the substrate that produced the report ("sim", "live").
+	Backend string
+	// Answer is the program's result; nil when the run did not complete.
+	Answer expr.Value
+	// Completed is true when the answer reached the super-root.
+	Completed bool
+	// Err holds an evaluation or verification error, if one occurred.
+	Err error
+	// Makespan is the completion time in Unit (or the time at the deadline
+	// for incomplete runs).
+	Makespan int64
+	// Unit is the makespan's unit: Ticks (sim) or WallMicros (live).
+	Unit TimeUnit
+	// Messages counts every message the interconnect carried.
+	Messages int64
+	// Spawned counts task packets created, including reissues and twins.
+	Spawned int64
+	// Reissued counts checkpointed packets re-sent after a failure.
+	Reissued int64
+	// Drained counts results discarded harmlessly: duplicates, late arrivals,
+	// and (live) messages black-holed at dead nodes — §3.4's "returns from
+	// orphan tasks are theoretically harmless".
+	Drained int64
+	// Recoveries counts recovery events: reissues plus splice twins.
+	Recoveries int64
+	// Procs is the processor (or node) count.
+	Procs int
+	// Scheme and Placement echo the configuration for reports.
+	Scheme, Placement string
+	// ReissuesByNode is the per-node reissue count (live backend; nil on sim,
+	// where reissues are attributed in Sim.Metrics instead).
+	ReissuesByNode []int64
+	// Sim is the simulator's full report (metrics, trace, state samples);
+	// nil when another backend produced this report.
+	Sim *machine.Report
+}
+
+// Backend is one execution substrate for the applicative machine: the
+// discrete-event simulator, the live goroutine network, or anything else
+// that can evaluate a workload under a config and a fault plan. The paper's
+// claim — functional checkpointing plus rollback/splice needs nothing from a
+// particular substrate — is exactly this interface.
+type Backend interface {
+	// Name is the registry key ("sim", "live").
+	Name() string
+	// Run evaluates the workload under the fault plan and reports.
+	Run(cfg Config, w Workload, plan *faults.Plan) (*Report, error)
+}
+
+var (
+	backendMu    sync.RWMutex
+	backendOrder []string
+	backendByNm  = map[string]Backend{}
+)
+
+// RegisterBackend adds a backend to the registry. Duplicate or empty names
+// are errors. Backends register themselves in package init (the simulator
+// here, the live network in internal/livenet), so importing a backend's
+// package is what makes it selectable.
+func RegisterBackend(b Backend) error {
+	name := b.Name()
+	if name == "" {
+		return fmt.Errorf("core: backend name required")
+	}
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if _, dup := backendByNm[name]; dup {
+		return fmt.Errorf("core: duplicate backend %q", name)
+	}
+	backendByNm[name] = b
+	backendOrder = append(backendOrder, name)
+	return nil
+}
+
+// MustRegisterBackend is RegisterBackend for init-time wiring.
+func MustRegisterBackend(b Backend) {
+	if err := RegisterBackend(b); err != nil {
+		panic(err)
+	}
+}
+
+// ByName resolves a registered backend.
+func ByName(name string) (Backend, error) {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	if b, ok := backendByNm[name]; ok {
+		return b, nil
+	}
+	known := append([]string(nil), backendOrder...)
+	sort.Strings(known)
+	return nil, fmt.Errorf("core: unknown backend %q (known: %v)", name, known)
+}
+
+// Backends lists the registered backend names in registration order ("sim"
+// first; "live" follows once internal/livenet is linked in).
+func Backends() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	return append([]string(nil), backendOrder...)
+}
+
+// simBackend runs the discrete-event simulator (internal/machine).
+type simBackend struct{}
+
+func init() { MustRegisterBackend(simBackend{}) }
+
+// Name implements Backend.
+func (simBackend) Name() string { return "sim" }
+
+// Run implements Backend: build the simulated machine and wrap its report in
+// the backend-neutral form.
+func (simBackend) Run(cfg Config, w Workload, plan *faults.Plan) (*Report, error) {
+	m, err := cfg.Build(w.Program)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := m.Run(w.Fn, w.Args, plan)
+	if err != nil {
+		return nil, err
+	}
+	n := rep.NeutralCounts()
+	return &Report{
+		Backend:    "sim",
+		Answer:     rep.Answer,
+		Completed:  rep.Completed,
+		Err:        rep.Err,
+		Makespan:   int64(rep.Makespan),
+		Unit:       Ticks,
+		Messages:   n.Messages,
+		Spawned:    n.Spawned,
+		Reissued:   n.Reissued,
+		Drained:    n.Drained,
+		Recoveries: n.Recoveries,
+		Procs:      rep.Procs,
+		Scheme:     rep.Scheme,
+		Placement:  rep.Placement,
+		Sim:        rep,
+	}, nil
+}
+
+// VerifyOn runs the workload on the named backend and checks the answer
+// against the sequential reference evaluator — the determinacy guarantee of
+// §2.1, now assertable on every substrate.
+func VerifyOn(backend string, cfg Config, w Workload, plan *faults.Plan) (*Report, error) {
+	b, err := ByName(backend)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := b.Run(cfg, w, plan)
+	if err != nil {
+		return nil, err
+	}
+	return rep, verifyReport(rep, w)
+}
+
+// verifyReport checks a backend-neutral report against the reference
+// evaluator; nil means the run completed with the reference answer.
+func verifyReport(rep *Report, w Workload) error {
+	if rep.Err != nil {
+		return rep.Err
+	}
+	if !rep.Completed {
+		return fmt.Errorf("core: run did not complete (makespan %d %s)", rep.Makespan, rep.Unit)
+	}
+	want, err := lang.RefEval(w.Program, w.Fn, w.Args)
+	if err != nil {
+		return err
+	}
+	if !rep.Answer.Equal(want) {
+		return fmt.Errorf("core: answer %v != reference %v", rep.Answer, want)
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/balance"
 	"repro/internal/expr"
@@ -20,12 +21,11 @@ import (
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // Re-exported handles so callers need only import core for common setups.
 type (
-	// Report is the outcome of a run.
-	Report = machine.Report
 	// FaultPlan schedules processor faults.
 	FaultPlan = faults.Plan
 	// Fault is one scheduled fault.
@@ -85,7 +85,16 @@ type Workload struct {
 // StandardWorkload builds one of the bundled programs by name:
 //
 //	fib:N  tak:X,Y,Z  nqueens:N  sumrange:N  msort:N  tree:FANOUT,DEPTH  binom:N,K
+//
+// or a synthetic internal/workload shape compiled to a program:
+//
+//	shape:uniform:FANOUT,DEPTH,LEAFCOST
+//	shape:skew:WIDTH,DEPTH,LEAFCOST
+//	shape:random:SEED,MAXFANOUT,DEPTH,MAXLEAFCOST
 func StandardWorkload(spec string) (Workload, error) {
+	if strings.HasPrefix(spec, "shape:") {
+		return shapeWorkload(spec)
+	}
 	var a, b, c int64
 	n, err := fmt.Sscanf(spec, "fib:%d", &a)
 	if n == 1 && err == nil {
@@ -114,6 +123,45 @@ func StandardWorkload(spec string) (Workload, error) {
 		return Workload{lang.Binomial(), "binom", []expr.Value{expr.VInt(a), expr.VInt(b)}}, nil
 	}
 	return Workload{}, fmt.Errorf("core: unknown workload spec %q", spec)
+}
+
+// shapeWorkload compiles a "shape:KIND:ARGS" spec through internal/workload,
+// making the synthetic call-tree shapes addressable by every artifact and
+// backend the same way the bundled programs are.
+func shapeWorkload(spec string) (Workload, error) {
+	var s workload.Shape
+	var a, b, c, d int64
+	switch {
+	case scan(spec, "shape:uniform:%d,%d,%d", &a, &b, &c):
+		s = workload.Uniform(int(a), int(b), int(c))
+	case scan(spec, "shape:skew:%d,%d,%d", &a, &b, &c):
+		s = workload.Skewed(int(a), int(b), int(c))
+	case scan(spec, "shape:random:%d,%d,%d,%d", &a, &b, &c, &d):
+		s = workload.Random(a, int(b), int(c), int(d))
+	default:
+		return Workload{}, fmt.Errorf("core: unknown shape spec %q", spec)
+	}
+	prog, root, err := workload.Build(s)
+	if err != nil {
+		return Workload{}, fmt.Errorf("core: %s: %w", spec, err)
+	}
+	return Workload{Program: prog, Fn: root}, nil
+}
+
+// scan is Sscanf with full-match semantics for workload specs: Sscanf alone
+// ignores trailing input ("shape:uniform:3,4,5,99" would parse as the 3-arg
+// form), so the parsed values are re-rendered through the format and must
+// reproduce the spec exactly.
+func scan(spec, format string, args ...any) bool {
+	n, err := fmt.Sscanf(spec, format, args...)
+	if err != nil || n != len(args) {
+		return false
+	}
+	vals := make([]any, len(args))
+	for i, a := range args {
+		vals[i] = *a.(*int64)
+	}
+	return fmt.Sprintf(format, vals...) == spec
 }
 
 // Build materializes the machine for the config.
@@ -186,13 +234,21 @@ func (c Config) Build(prog *lang.Program) (*machine.Machine, error) {
 	return machine.New(mc, prog)
 }
 
-// Run builds the machine and evaluates the workload under the fault plan.
+// Run evaluates the workload under the fault plan on the simulator backend
+// and returns the backend-neutral report (simulator detail on Report.Sim).
+// To run on another substrate, resolve it with ByName and call its Run, or
+// use RunOn.
 func (c Config) Run(w Workload, plan *faults.Plan) (*Report, error) {
-	m, err := c.Build(w.Program)
+	return simBackend{}.Run(c, w, plan)
+}
+
+// RunOn evaluates the workload on the named backend.
+func (c Config) RunOn(backend string, w Workload, plan *faults.Plan) (*Report, error) {
+	b, err := ByName(backend)
 	if err != nil {
 		return nil, err
 	}
-	return m.Run(w.Fn, w.Args, plan)
+	return b.Run(c, w, plan)
 }
 
 // RunSpec is the one-line entry point: workload spec + config + plan.
@@ -213,20 +269,7 @@ func (c Config) Verify(w Workload, plan *faults.Plan) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	if rep.Err != nil {
-		return rep, rep.Err
-	}
-	if !rep.Completed {
-		return rep, fmt.Errorf("core: run did not complete (makespan %d)", rep.Makespan)
-	}
-	want, err := lang.RefEval(w.Program, w.Fn, w.Args)
-	if err != nil {
-		return rep, err
-	}
-	if !rep.Answer.Equal(want) {
-		return rep, fmt.Errorf("core: answer %v != reference %v", rep.Answer, want)
-	}
-	return rep, nil
+	return rep, verifyReport(rep, w)
 }
 
 // CrashPlan is a convenience for single-crash plans.

@@ -107,7 +107,7 @@ func TestVerifyWithRecovery(t *testing.T) {
 			t.Errorf("%s: %v", scheme, err)
 			continue
 		}
-		if rep.Log == nil {
+		if rep.Sim.Log == nil {
 			t.Errorf("%s: trace requested but nil", scheme)
 		}
 	}
@@ -133,7 +133,7 @@ func TestRawOverrides(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.StateSamples) == 0 {
+	if len(rep.Sim.StateSamples) == 0 {
 		t.Fatal("raw override did not take effect")
 	}
 }

@@ -38,6 +38,24 @@ type Table struct {
 	Columns []string `json:"columns"`
 	Rows    [][]Cell `json:"rows"`
 	Finding string   `json:"finding,omitempty"` // what the measurements show
+	// Pairs declares explicit {baseline-row, candidate-row} comparisons for
+	// multi-seed effect classification. Sweep tables that interleave two
+	// configurations (T2/S2/S3's rollback-vs-splice at equal fault plans)
+	// set it so each candidate is judged against its true counterpart; when
+	// empty, every row is classified against row 0, the conventional
+	// baseline position.
+	Pairs [][2]int `json:"pairs,omitempty"`
+	// NoEffects suppresses effect classification entirely, for tables whose
+	// rows are independent measurements (e.g. L1's per-workload parity rows)
+	// with no baseline/candidate relationship to classify.
+	NoEffects bool `json:"no_effects,omitempty"`
+}
+
+// Pair records an explicit A-vs-B effect comparison: the candidate row is
+// classified against the baseline row instead of row 0.
+func (t *Table) Pair(baseline, candidate int) *Table {
+	t.Pairs = append(t.Pairs, [2]int{baseline, candidate})
+	return t
 }
 
 // Markdown renders the table for EXPERIMENTS.md.
@@ -127,9 +145,9 @@ func T1Overhead(spec string, procs int, seed int64) (*Table, error) {
 			Str(name),
 			i64(int64(rep.Makespan) + pause),
 			pct(delta),
-			i64(rep.Metrics.TotalMessages()),
-			i64(rep.Metrics.BytesOnWire),
-			i64(rep.Metrics.CheckpointBytes),
+			i64(rep.Sim.Metrics.TotalMessages()),
+			i64(rep.Sim.Metrics.BytesOnWire),
+			i64(rep.Sim.Metrics.CheckpointBytes),
 			i64(pause),
 		})
 	}
@@ -140,7 +158,7 @@ func T1Overhead(spec string, procs int, seed int64) (*Table, error) {
 	}
 	for _, div := range []int64{20, 5} {
 		interval := int64(base.Makespan) / div
-		out, err := baseline.Model(baseline.DefaultPGCParams(interval), base)
+		out, err := baseline.Model(baseline.DefaultPGCParams(interval), base.Sim)
 		if err != nil {
 			return nil, err
 		}
@@ -148,8 +166,8 @@ func T1Overhead(spec string, procs int, seed int64) (*Table, error) {
 			Strf("periodic global (T=%d)", interval),
 			i64(out.Makespan),
 			pct(float64(out.Makespan-out.BaseMakespan) / float64(out.BaseMakespan)),
-			i64(base.Metrics.TotalMessages() + out.ControlMessages),
-			i64(base.Metrics.BytesOnWire + out.SnapshotBytes),
+			i64(base.Sim.Metrics.TotalMessages() + out.ControlMessages),
+			i64(base.Sim.Metrics.BytesOnWire + out.SnapshotBytes),
 			i64(out.SnapshotBytes),
 			i64(out.PauseTotal),
 		})
@@ -174,7 +192,7 @@ func T2FaultSweep(spec string, procs int, seed int64) (*Table, error) {
 		return nil, fmt.Errorf("experiments: base run incomplete")
 	}
 	m0 := int64(base.Makespan)
-	steps0 := base.Metrics.StepsExecuted
+	steps0 := base.Sim.Metrics.StepsExecuted
 	t := &Table{
 		ID:    "T2",
 		Title: fmt.Sprintf("Recovery cost vs fault time (%s, %d processors, crash of processor 1)", spec, procs),
@@ -191,14 +209,20 @@ func T2FaultSweep(spec string, procs int, seed int64) (*Table, error) {
 			slow, extra := Dash(), Dash()
 			if rep.Completed {
 				slow = ratio(float64(rep.Makespan) / float64(m0))
-				extra = i64(rep.Metrics.StepsExecuted - steps0)
+				extra = i64(rep.Sim.Metrics.StepsExecuted - steps0)
 			}
 			t.Rows = append(t.Rows, []Cell{
 				Strf("%d%%", frac), Str(scheme),
 				i64(int64(rep.Makespan)), slow, extra,
-				i64(rep.Metrics.Twins + rep.Metrics.Reissues),
+				i64(rep.Sim.Metrics.Twins + rep.Sim.Metrics.Reissues),
 			})
 		}
+	}
+	// Each fault time interleaves a rollback row and a splice row: classify
+	// splice against its rollback counterpart at the equal fault plan, not
+	// against the table's first row.
+	for ri := 0; ri+1 < len(t.Rows); ri += 2 {
+		t.Pair(ri, ri+1)
 	}
 	t.Finding = "Rollback's extra re-executed work grows with the fault time while " +
 		"splice's salvage keeps the late-fault penalty flatter; both always finish " +
@@ -228,11 +252,11 @@ func T3Scale(spec string, sizes []int, seed int64) (*Table, error) {
 		if !rep.Completed {
 			return nil, fmt.Errorf("experiments: %d-processor run incomplete", n)
 		}
-		out, err := baseline.Model(baseline.DefaultPGCParams(int64(rep.Makespan)/10), rep)
+		out, err := baseline.Model(baseline.DefaultPGCParams(int64(rep.Makespan)/10), rep.Sim)
 		if err != nil {
 			return nil, err
 		}
-		perTask := float64(rep.Metrics.MsgTask+rep.Metrics.MsgTaskAck) / float64(rep.Metrics.TasksSpawned)
+		perTask := float64(rep.Sim.Metrics.MsgTask+rep.Sim.Metrics.MsgTaskAck) / float64(rep.Sim.Metrics.TasksSpawned)
 		t.Rows = append(t.Rows, []Cell{
 			i64(int64(n)),
 			i64(int64(rep.Makespan)),
@@ -286,8 +310,8 @@ func T4MultiFault(seed int64) (*Table, error) {
 			t.Rows = append(t.Rows, []Cell{
 				Str(pl.name), i64(int64(k)),
 				Strf("%v", rep.Completed),
-				i64(rep.Metrics.Twins),
-				i64(rep.Metrics.Stranded),
+				i64(rep.Sim.Metrics.Twins),
+				i64(rep.Sim.Metrics.Stranded),
 				slow,
 			})
 		}
@@ -329,11 +353,11 @@ func T5Replication(seed int64) (*Table, error) {
 		t.Rows = append(t.Rows, []Cell{
 			i64(int64(r)),
 			Strf("%v", correct),
-			i64(rep.Metrics.Votes),
-			i64(rep.Metrics.VoteMismatches),
-			i64(rep.Metrics.DupResults),
+			i64(rep.Sim.Metrics.Votes),
+			i64(rep.Sim.Metrics.VoteMismatches),
+			i64(rep.Sim.Metrics.DupResults),
 			i64(int64(rep.Makespan)),
-			i64(rep.Metrics.MsgTask),
+			i64(rep.Sim.Metrics.MsgTask),
 		})
 	}
 	t.Finding = "R=1 completes with a wrong answer (crash recovery cannot mask value " +
@@ -375,8 +399,8 @@ func T6Placement(seed int64) (*Table, error) {
 			i64(int64(base.Makespan)),
 			i64(int64(rep.Makespan)),
 			stretch,
-			i64(rep.Metrics.TotalMessages()),
-			Float("%.2f", imbalance(rep.StepsByProc)),
+			i64(rep.Sim.Metrics.TotalMessages()),
+			Float("%.2f", imbalance(rep.Sim.StepsByProc)),
 		})
 	}
 	t.Finding = "Dynamic policies re-place recovered tasks transparently; static hashing " +
@@ -403,13 +427,13 @@ func T7TMR(seed int64) (*Table, error) {
 	}
 	ckpt := mustRun(core.Config{Procs: 8, Seed: seed, Recovery: "rollback"}, w, nil)
 	t.Rows = append(t.Rows, []Cell{Str("functional ckpt (rollback)"),
-		i64(int64(ckpt.Makespan)), i64(ckpt.Metrics.StepsExecuted),
-		i64(ckpt.Metrics.MsgTask), i64(ckpt.Metrics.BytesOnWire)})
+		i64(int64(ckpt.Makespan)), i64(ckpt.Sim.Metrics.StepsExecuted),
+		i64(ckpt.Sim.Metrics.MsgTask), i64(ckpt.Sim.Metrics.BytesOnWire)})
 	tmr := mustRun(core.Config{Procs: 8, Seed: seed,
 		Replication: baseline.ReplicateAll(w.Program.Names(), 3)}, w, nil)
 	t.Rows = append(t.Rows, []Cell{Str("TMR (R=3 everywhere)"),
-		i64(int64(tmr.Makespan)), i64(tmr.Metrics.StepsExecuted),
-		i64(tmr.Metrics.MsgTask), i64(tmr.Metrics.BytesOnWire)})
+		i64(int64(tmr.Makespan)), i64(tmr.Sim.Metrics.StepsExecuted),
+		i64(tmr.Sim.Metrics.MsgTask), i64(tmr.Sim.Metrics.BytesOnWire)})
 	t.Finding = "TMR pays roughly 3× compute and task traffic in every fault-free run; " +
 		"functional checkpointing defers nearly all cost to the (rare) recovery path."
 	return t, nil
@@ -434,8 +458,8 @@ func A1EagerVsLazyAbort(seed int64) (*Table, error) {
 		rep := mustRun(core.Config{Procs: 9, Seed: seed, Recovery: scheme}, w, faults.Crash(1, at, true))
 		t.Rows = append(t.Rows, []Cell{
 			Str(scheme), Strf("%v", rep.Completed),
-			i64(rep.Metrics.TasksAborted), i64(rep.Metrics.StepsWasted),
-			i64(rep.Metrics.TasksLeaked), i64(int64(rep.Makespan)),
+			i64(rep.Sim.Metrics.TasksAborted), i64(rep.Sim.Metrics.StepsWasted),
+			i64(rep.Sim.Metrics.TasksLeaked), i64(int64(rep.Makespan)),
 		})
 	}
 	t.Finding = "Eager scoped abortion collects the doomed fragments immediately; lazy " +
@@ -462,10 +486,10 @@ func A2CheckpointStorage(seed int64) (*Table, error) {
 		if !rep.Completed {
 			return nil, fmt.Errorf("experiments: %s incomplete", spec)
 		}
-		perTask := float64(rep.Metrics.CheckpointBytes) / float64(rep.Metrics.TasksSpawned)
+		perTask := float64(rep.Sim.Metrics.CheckpointBytes) / float64(rep.Sim.Metrics.TasksSpawned)
 		t.Rows = append(t.Rows, []Cell{
-			Str(spec), i64(rep.Metrics.TasksSpawned), i64(rep.Metrics.Checkpoints),
-			i64(rep.Metrics.CheckpointBytes), Float("%.1f", perTask),
+			Str(spec), i64(rep.Sim.Metrics.TasksSpawned), i64(rep.Sim.Metrics.Checkpoints),
+			i64(rep.Sim.Metrics.CheckpointBytes), Float("%.1f", perTask),
 		})
 	}
 	t.Finding = "Peak retained storage is a small constant per in-flight task (packet " +
@@ -495,8 +519,8 @@ func A3DetectionLatency(seed int64) (*Table, error) {
 			Raw: &machine.Config{HeartbeatEvery: sim.Time(hb)}}
 		rep := mustRun(cfg, w, faults.Crash(1, at, false))
 		lat := Dash()
-		if rep.Metrics.FirstDetections > 0 {
-			lat = i64(rep.Metrics.DetectLatencySum / rep.Metrics.FirstDetections)
+		if rep.Sim.Metrics.FirstDetections > 0 {
+			lat = i64(rep.Sim.Metrics.DetectLatencySum / rep.Sim.Metrics.FirstDetections)
 		}
 		slow := Dash()
 		if rep.Completed {
@@ -532,8 +556,8 @@ func A4TopmostSuppression(seed int64) (*Table, error) {
 	for _, scheme := range []string{"rollback", "rollback-nosuppress"} {
 		rep := mustRun(core.Config{Procs: 4, Seed: seed, Recovery: scheme}, w, faults.Crash(1, at, true))
 		t.Rows = append(t.Rows, []Cell{
-			Str(scheme), i64(rep.Metrics.Reissues), i64(rep.Metrics.Suppressed),
-			i64(rep.Metrics.StepsWasted), i64(rep.Metrics.StepsExecuted), i64(int64(rep.Makespan)),
+			Str(scheme), i64(rep.Sim.Metrics.Reissues), i64(rep.Sim.Metrics.Suppressed),
+			i64(rep.Sim.Metrics.StepsWasted), i64(rep.Sim.Metrics.StepsExecuted), i64(int64(rep.Makespan)),
 		})
 	}
 	t.Finding = "Disabling the topmost rule injects extra reissue packets for genealogical " +

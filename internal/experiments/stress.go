@@ -69,10 +69,10 @@ func S1TopologySweep(spec string, seed int64) (*Table, error) {
 		if !rep.Completed {
 			return nil, fmt.Errorf("experiments: S1 %s run incomplete", kind)
 		}
-		msgs := rep.Metrics.TotalMessages()
+		msgs := rep.Sim.Metrics.TotalMessages()
 		hopsPerMsg := 0.0
 		if msgs > 0 {
-			hopsPerMsg = float64(rep.Metrics.HopsOnWire) / float64(msgs)
+			hopsPerMsg = float64(rep.Sim.Metrics.HopsOnWire) / float64(msgs)
 		}
 		t.Rows = append(t.Rows, []Cell{
 			Str(topo.Name()),
@@ -80,8 +80,8 @@ func S1TopologySweep(spec string, seed int64) (*Table, error) {
 			i64(int64(rep.Makespan)),
 			i64(msgs),
 			Float("%.2f", hopsPerMsg),
-			i64(rep.Metrics.BytesOnWire),
-			Float("%.2f", imbalance(rep.StepsByProc)),
+			i64(rep.Sim.Metrics.BytesOnWire),
+			Float("%.2f", imbalance(rep.Sim.StepsByProc)),
 		})
 	}
 	t.Finding = "Every interconnect completes with the same answer; makespan tracks the " +
@@ -152,10 +152,15 @@ func S2CascadeRecovery(seed int64) (*Table, error) {
 				Strf("%v", rep.Completed),
 				i64(int64(rep.Makespan)),
 				slow,
-				i64(rep.Metrics.Twins + rep.Metrics.Reissues),
-				i64(rep.Metrics.Stranded),
+				i64(rep.Sim.Metrics.Twins + rep.Sim.Metrics.Reissues),
+				i64(rep.Sim.Metrics.Stranded),
 			})
 		}
+	}
+	// Rows interleave rollback and splice per cascade plan: classify splice
+	// against the rollback row under the identical plan.
+	for ri := 0; ri+1 < len(t.Rows); ri += 2 {
+		t.Pair(ri, ri+1)
 	}
 	t.Finding = "Both schemes survive cascades that kill a dozen of 64 processors; the " +
 		"slowdown gap widens with each wave because rollback re-executes work the next " +
@@ -206,8 +211,8 @@ func S3FaultDensity(seed int64) (*Table, error) {
 			Strf("%v", rep.Completed),
 			i64(int64(rep.Makespan)),
 			slow,
-			i64(rep.Metrics.Twins + rep.Metrics.Reissues),
-			i64(rep.Metrics.Stranded),
+			i64(rep.Sim.Metrics.Twins + rep.Sim.Metrics.Reissues),
+			i64(rep.Sim.Metrics.Stranded),
 		})
 	}
 	addRow(0, "rollback", base)
@@ -220,6 +225,12 @@ func S3FaultDensity(seed int64) (*Table, error) {
 				Deadline: m0 * 20}, w, plan)
 			addRow(k, scheme, rep)
 		}
+	}
+	// Row 0 is the fault-free base; the sweep rows interleave rollback and
+	// splice at each density: classify splice against rollback at the equal
+	// crash draw.
+	for ri := 1; ri+1 < len(t.Rows); ri += 2 {
+		t.Pair(ri, ri+1)
 	}
 	t.Finding = "Slowdown grows smoothly with density until roughly 8–10 of 16 processors " +
 		"die at once, then recovery stops completing (the capped deadline shows as the " +

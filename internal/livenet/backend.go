@@ -1,0 +1,193 @@
+package livenet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// This file adapts the goroutine cluster to core.Backend, so the same
+// Config/Workload/Plan that drives the discrete-event simulator drives real
+// concurrency. The mapping:
+//
+//   - Config.Procs and Config.Seed carry over directly (seeded placement:
+//     every node draws destinations from an rng derived from the seed).
+//   - Fault plans are scheduled on the wall clock: a fault at virtual tick t
+//     fires t×Timescale after the root is submitted, so Burst/Cascade/
+//     Correlated plans keep their shape as real durations. Both crash kinds
+//     map to Kill — the live network announces deaths to survivors; silent-
+//     crash timeout detection is a simulator-only mechanism. Corrupt faults
+//     are rejected (no voting on the live path).
+//   - Config.Deadline (a virtual-time budget) maps through Timescale to a
+//     wall deadline bounding Wait, so a hung recovery fails fast instead of
+//     timing out CI.
+//   - Config.Topology is ignored for connectivity: the channel interconnect
+//     is a complete graph. Placement must be "random" (the only live policy)
+//     and Recovery "rollback" (per-parent reissue, §3; the default) or
+//     "none" (kills go unannounced and lost work stays lost, so a faulted
+//     run reports non-completion at the deadline, like the simulator's).
+//
+// The returned core.Report is backend-neutral: makespan in wall
+// microseconds, message/spawn/reissue/drain counters from the cluster, and
+// per-node reissue stats. Run itself verifies nothing — exactly like the
+// simulator backend — so the two substrates share one contract; the
+// determinacy check (§2.1, answer == lang.RefEval) is one call away via
+// core.VerifyOn("live", …), which the L-series artifacts, the backend
+// tests, and examples/live all use.
+
+// DefaultTimescale is the wall-clock duration of one virtual tick when
+// mapping fault plans and deadlines: 2µs keeps the paper's fault times
+// (thousands of ticks) landing mid-run for the bundled workloads.
+const DefaultTimescale = 2 * time.Microsecond
+
+// DefaultDeadline bounds Wait when the config sets no virtual-time budget.
+const DefaultDeadline = 30 * time.Second
+
+// Backend runs workloads on the live goroutine cluster. The zero value is
+// the registered "live" backend; construct one directly to override the
+// tick-to-wall Timescale or the Wait Deadline.
+type Backend struct {
+	// Timescale is the wall duration of one virtual tick (0 ⇒ DefaultTimescale).
+	Timescale time.Duration
+	// Deadline bounds Wait when Config.Deadline is zero (0 ⇒ DefaultDeadline).
+	Deadline time.Duration
+}
+
+func init() { core.MustRegisterBackend(Backend{}) }
+
+// Name implements core.Backend.
+func (Backend) Name() string { return "live" }
+
+// Run implements core.Backend: build the cluster, submit the root, replay
+// the fault plan on the wall clock, and wait (bounded) for the answer.
+func (b Backend) Run(cfg core.Config, w core.Workload, plan *faults.Plan) (*core.Report, error) {
+	if w.Program == nil {
+		return nil, errors.New("livenet: program required")
+	}
+	procs := cfg.Procs
+	if procs == 0 {
+		procs = 8
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	scheme := cfg.Recovery
+	if scheme == "" {
+		scheme = "rollback"
+	}
+	if scheme != "rollback" && scheme != "none" {
+		return nil, fmt.Errorf("livenet: recovery %q not supported on the live backend (rollback per-parent reissue, or none)", cfg.Recovery)
+	}
+	if cfg.Placement != "" && cfg.Placement != "random" {
+		return nil, fmt.Errorf("livenet: placement %q not supported on the live backend (random only)", cfg.Placement)
+	}
+	// Reject the sim-only knobs that would change what a run measures if
+	// silently dropped. (Topology, AncestorDepth and Trace are inert here —
+	// the channel interconnect is complete, per-parent reissue has no
+	// ancestor escalation to tune, and there is no event log — so they are
+	// documented as ignored rather than rejected; the CLIs set defaults for
+	// them unconditionally.)
+	switch {
+	case len(cfg.Replication) > 0:
+		return nil, errors.New("livenet: §5.3 task replication is not implemented on the live backend")
+	case cfg.DisableCheckpoints:
+		return nil, errors.New("livenet: checkpoints cannot be disabled on the live backend (parents always retain child packets)")
+	case cfg.Raw != nil:
+		return nil, errors.New("livenet: Config.Raw holds simulator machine knobs; the live backend takes none of them")
+	}
+	if plan == nil {
+		plan = faults.None()
+	}
+	if err := plan.Validate(procs); err != nil {
+		return nil, err
+	}
+	for _, f := range plan.Faults {
+		if f.Kind == faults.Corrupt {
+			return nil, fmt.Errorf("livenet: fault %v: value corruption needs §5.3 voting, which only the simulator implements", f)
+		}
+	}
+	if k := len(plan.Procs()); k >= procs {
+		return nil, fmt.Errorf("livenet: plan kills %d of %d nodes; at least one must survive", k, procs)
+	}
+
+	timescale := b.Timescale
+	if timescale <= 0 {
+		timescale = DefaultTimescale
+	}
+	deadline := b.Deadline
+	if deadline <= 0 {
+		deadline = DefaultDeadline
+	}
+	if cfg.Deadline > 0 {
+		deadline = time.Duration(cfg.Deadline) * timescale
+	}
+
+	c, err := New(w.Program, procs, seed)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Shutdown()
+	if scheme == "none" {
+		c.DisableRecovery()
+	}
+	start := time.Now()
+	if err := c.Start(w.Fn, w.Args); err != nil {
+		return nil, err
+	}
+
+	// Replay the plan: one scheduler goroutine walks the time-sorted faults
+	// and kills each processor at its wall-scaled instant. Kills of already-
+	// dead nodes (overlapping merged plans) are ignored, like the simulator's
+	// post-death injections. The scheduler is stopped and joined before
+	// Shutdown so no Kill races the cluster teardown.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, f := range plan.Sorted() {
+			if d := time.Duration(f.At)*timescale - time.Since(start); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-stop:
+					return
+				}
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = c.Kill(int(f.Proc))
+		}
+	}()
+
+	answer, waitErr := c.Wait(deadline)
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+
+	spawned, reissued, drained := c.Stats()
+	rep := &core.Report{
+		Backend:        "live",
+		Answer:         answer,
+		Completed:      waitErr == nil,
+		Makespan:       elapsed.Microseconds(),
+		Unit:           core.WallMicros,
+		Messages:       c.Messages(),
+		Spawned:        spawned,
+		Reissued:       reissued,
+		Drained:        drained,
+		Recoveries:     reissued,
+		Procs:          procs,
+		Scheme:         scheme,
+		Placement:      "random",
+		ReissuesByNode: c.ReissuesByNode(),
+	}
+	return rep, nil
+}

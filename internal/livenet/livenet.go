@@ -84,6 +84,9 @@ type node struct {
 	tasks map[stamp.Stamp][]*ltask
 	rng   *rand.Rand
 	live  []bool // local view of node liveness
+	// reissues counts the retained packets this node re-sent as a parent
+	// after peer deaths — the per-node recovery-load statistic.
+	reissues atomic.Int64
 }
 
 // Cluster is a live machine.
@@ -99,6 +102,13 @@ type Cluster struct {
 	reissued  atomic.Int64
 	drained   atomic.Int64
 	killsSeen atomic.Int64
+	msgs      atomic.Int64
+
+	// noRecovery disables reissue after kills (the "none" scheme): survivors
+	// are not told about deaths and the super-root does not reissue the
+	// root, so lost work stays lost — like the simulator's "none", a
+	// faulted run simply never finishes.
+	noRecovery bool
 
 	// quit, when closed, stops every node goroutine, drainer, and pending
 	// overflow send. Inbox channels are never closed (closing a channel
@@ -106,6 +116,10 @@ type Cluster struct {
 	quit chan struct{}
 	wg   sync.WaitGroup
 }
+
+// DisableRecovery switches the cluster to the "none" scheme: kills are not
+// announced and nothing is reissued. Call before Start.
+func (c *Cluster) DisableRecovery() { c.noRecovery = true }
 
 // New builds a cluster of n goroutine nodes evaluating prog.
 func New(prog *lang.Program, n int, seed int64) (*Cluster, error) {
@@ -181,6 +195,9 @@ func (c *Cluster) Kill(id int) error {
 			}
 		}
 	}()
+	if c.noRecovery {
+		return nil // lost work stays lost (§3's motivation, negated)
+	}
 	// Tell the survivors.
 	for _, other := range c.nodes {
 		if other.alive.Load() {
@@ -219,6 +236,20 @@ func (c *Cluster) Stats() (spawned, reissued, drained int64) {
 	return c.spawned.Load(), c.reissued.Load(), c.drained.Load()
 }
 
+// Messages is the total number of messages handed to the interconnect.
+func (c *Cluster) Messages() int64 { return c.msgs.Load() }
+
+// ReissuesByNode reports how many retained child packets each node re-sent
+// as a parent after peer deaths. The super-root's reissue of the root packet
+// (cluster-level, §4.3.1) is counted in Stats but belongs to no node.
+func (c *Cluster) ReissuesByNode() []int64 {
+	out := make([]int64, len(c.nodes))
+	for i, nd := range c.nodes {
+		out[i] = nd.reissues.Load()
+	}
+	return out
+}
+
 // send delivers to a node's inbox (dead nodes drain it). The send never
 // blocks the caller: a node that blocked on a full peer inbox — or its own —
 // could deadlock the cluster, so overflow is handed to a goroutine that
@@ -226,6 +257,7 @@ func (c *Cluster) Stats() (spawned, reissued, drained int64) {
 // produced after its spawn was processed); order between independent
 // messages is already arbitrary on a real interconnect.
 func (c *Cluster) send(dest int, m msg) {
+	c.msgs.Add(1)
 	select {
 	case c.nodes[dest].inbox <- m:
 	default:
@@ -409,6 +441,7 @@ func (n *node) onNodeDown(dead int) {
 				}
 				dest := n.pickDest()
 				ck.dest = dest
+				n.reissues.Add(1)
 				n.c.reissued.Add(1)
 				n.c.spawned.Add(1)
 				n.c.send(dest, msg{spawn: ck.pkt})

@@ -84,6 +84,35 @@ type Report struct {
 	StepsByProc []int64
 }
 
+// NeutralCounts are the substrate-independent counters of a run — the
+// quantities any backend (simulated or live) can report, extracted here so
+// the backend-neutral report in internal/core never reaches into Metrics
+// field by field.
+type NeutralCounts struct {
+	// Messages is every message the interconnect carried.
+	Messages int64
+	// Spawned counts task packets created, including reissues and twins.
+	Spawned int64
+	// Reissued counts checkpointed packets re-sent after a failure.
+	Reissued int64
+	// Drained counts harmlessly discarded results (duplicates + late).
+	Drained int64
+	// Recoveries counts recovery events: reissues plus splice twins.
+	Recoveries int64
+}
+
+// NeutralCounts extracts the backend-neutral counters from the report.
+func (r *Report) NeutralCounts() NeutralCounts {
+	m := &r.Metrics
+	return NeutralCounts{
+		Messages:   m.TotalMessages(),
+		Spawned:    m.TasksSpawned,
+		Reissued:   m.Reissues,
+		Drained:    m.DupResults + m.LateResults,
+		Recoveries: m.Reissues + m.Twins,
+	}
+}
+
 // New builds a machine for the given configuration and program.
 func New(cfg Config, prog *lang.Program) (*Machine, error) {
 	norm, err := cfg.normalized()

@@ -60,6 +60,37 @@ type Experiment struct {
 	Figure func() (string, error)
 	// Table runs the measurement at one seed.
 	Table func(seed int64) (*experiments.Table, error)
+	// Backends declares which core backends the driver needs (nil ⇒
+	// {"sim"}). An artifact only runs when the engine's selected backend is
+	// listed; otherwise it renders a deterministic skip note, so sim-only
+	// documents stay reproducible while live artifacts (whose wall-clock
+	// measurements are machine-dependent) run on request.
+	Backends []string
+}
+
+// SimBackend is the default substrate drivers run on.
+const SimBackend = "sim"
+
+// BackendList is the declared backend set with the nil-default applied.
+func (e Experiment) BackendList() []string {
+	if len(e.Backends) == 0 {
+		return []string{SimBackend}
+	}
+	return e.Backends
+}
+
+// Supports reports whether the driver runs under the given backend
+// selection ("" means sim).
+func (e Experiment) Supports(backend string) bool {
+	if backend == "" {
+		backend = SimBackend
+	}
+	for _, b := range e.BackendList() {
+		if b == backend {
+			return true
+		}
+	}
+	return false
 }
 
 // Registry maps artifact ids to drivers, preserving registration order so
@@ -205,6 +236,10 @@ func Default() *Registry {
 				Table: func(seed int64) (*experiments.Table, error) { return experiments.S1TopologySweep("fib:13", seed) }},
 			{ID: "S2", Title: "Stress: rollback vs splice under cascading faults", Kind: KindTable, Table: experiments.S2CascadeRecovery},
 			{ID: "S3", Title: "Stress: fault density to the breaking point", Kind: KindTable, Table: experiments.S3FaultDensity},
+			{ID: "L1", Title: "Live backend: sim-vs-live parity on the standard workloads", Kind: KindTable,
+				Backends: []string{"live"}, Table: experiments.L1Parity},
+			{ID: "L2", Title: "Live backend: burst-kill fault sweep on the goroutine cluster", Kind: KindTable,
+				Backends: []string{"live"}, Table: experiments.L2LiveFaultSweep},
 		} {
 			defaultReg.MustRegister(e)
 		}

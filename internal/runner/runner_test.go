@@ -17,6 +17,7 @@ var cliIDs = []string{
 	"T1", "T2", "T3", "T4", "T5", "T6", "T7",
 	"A1", "A2", "A3", "A4",
 	"S1", "S2", "S3",
+	"L1", "L2",
 }
 
 func TestDefaultRegistryResolvesEveryCLIID(t *testing.T) {

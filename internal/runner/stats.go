@@ -136,15 +136,19 @@ func (c AggCell) String() string {
 }
 
 // Effect is one baseline-relative comparison: the row's metric against the
-// first row's, per seed, with its classification.
+// baseline row's, per seed, with its classification.
 type Effect struct {
-	Column   string      `json:"column"`
-	Row      int         `json:"row"`
-	Label    string      `json:"label"`    // first cell of the row
-	Baseline string      `json:"baseline"` // first cell of row 0
-	Deltas   []float64   `json:"deltas"`   // per seed, (row−baseline)/baseline
-	Mean     float64     `json:"mean"`
-	Class    EffectClass `json:"class"`
+	Column   string `json:"column"`
+	Row      int    `json:"row"`
+	Label    string `json:"label"`    // the candidate row's label
+	Baseline string `json:"baseline"` // the baseline row's label
+	// Context, for paired effects, is the shared sweep point both rows
+	// describe (e.g. the fault plan), so Label/Baseline can name just the
+	// cells that differ (e.g. "splice" vs "rollback").
+	Context string      `json:"context,omitempty"`
+	Deltas  []float64   `json:"deltas"` // per seed, (row−baseline)/baseline
+	Mean    float64     `json:"mean"`
+	Class   EffectClass `json:"class"`
 }
 
 // Summary aggregates one experiment's tables across seeds.
@@ -156,7 +160,10 @@ type Summary struct {
 	Columns []string    `json:"columns"`
 	Rows    [][]AggCell `json:"rows"`
 	Effects []Effect    `json:"effects,omitempty"`
-	Finding string      `json:"finding,omitempty"`
+	// Paired is true when the table declared explicit A-vs-B row pairings,
+	// so Effects compare true counterparts instead of row 0.
+	Paired  bool   `json:"paired,omitempty"`
+	Finding string `json:"finding,omitempty"`
 }
 
 // Aggregate folds the per-seed tables of one experiment (tables[i] ran at
@@ -190,7 +197,21 @@ func Aggregate(seeds []int64, tables []*experiments.Table) (*Summary, error) {
 		}
 		s.Rows = append(s.Rows, row)
 	}
-	s.Effects = baselineEffects(s)
+	if first.NoEffects {
+		return s, nil
+	}
+	if len(first.Pairs) > 0 {
+		for _, p := range first.Pairs {
+			if p[0] < 0 || p[0] >= len(s.Rows) || p[1] < 0 || p[1] >= len(s.Rows) {
+				return nil, fmt.Errorf("runner: %s: pairing %v out of range (rows %d)",
+					first.ID, p, len(s.Rows))
+			}
+		}
+		s.Paired = true
+		s.Effects = pairedEffects(s, first.Pairs)
+	} else {
+		s.Effects = baselineEffects(s)
+	}
 	return s, nil
 }
 
@@ -246,41 +267,101 @@ func baselineEffects(s *Summary) []Effect {
 		return nil
 	}
 	var out []Effect
-	base := s.Rows[0]
 	for ri := 1; ri < len(s.Rows); ri++ {
-		row := s.Rows[ri]
-		for ci := range row {
-			if ci >= len(base) || !row[ci].IsNum || !base[ci].IsNum {
-				continue
-			}
-			deltas := make([]float64, 0, len(row[ci].PerSeed))
-			ok := true
-			for si := range row[ci].PerSeed {
-				b := base[ci].PerSeed[si]
-				if b == 0 {
-					ok = false
-					break
-				}
-				deltas = append(deltas, (row[ci].PerSeed[si]-b)/b)
-			}
-			if !ok {
-				continue
-			}
-			var mean float64
-			for _, d := range deltas {
-				mean += d
-			}
-			mean /= float64(len(deltas))
-			out = append(out, Effect{
-				Column:   s.Columns[ci],
-				Row:      ri,
-				Label:    rowLabel(s.Rows[ri]),
-				Baseline: rowLabel(base),
-				Deltas:   deltas,
-				Mean:     mean,
-				Class:    Classify(deltas),
-			})
+		out = append(out, rowEffects(s, 0, ri)...)
+	}
+	return out
+}
+
+// pairedEffects classifies each declared candidate row against its declared
+// baseline row — the A-vs-B comparison sweep tables encode (e.g. splice vs
+// rollback at the same fault plan), which a fixed row-0 baseline misstates.
+// Effect labels name the cells where the pair differs (the A and the B),
+// with the shared sweep point as context.
+func pairedEffects(s *Summary, pairs [][2]int) []Effect {
+	var out []Effect
+	for _, p := range pairs {
+		context, baseLabel, candLabel := pairLabels(s.Rows[p[0]], s.Rows[p[1]])
+		for _, e := range rowEffects(s, p[0], p[1]) {
+			e.Context, e.Baseline, e.Label = context, baseLabel, candLabel
+			out = append(out, e)
 		}
+	}
+	return out
+}
+
+// pairLabels splits a pair of rows into the shared context (equal text cells
+// before the first difference) and the per-side labels (the text cells that
+// differ). Rows that differ in no text cell fall back to their positions.
+func pairLabels(base, row []AggCell) (context, baseLabel, candLabel string) {
+	var ctx, bl, cl []string
+	for i := range row {
+		if row[i].IsNum {
+			continue
+		}
+		bt := ""
+		if i < len(base) && !base[i].IsNum {
+			bt = base[i].Text
+		}
+		if row[i].Text == bt {
+			if len(cl) == 0 {
+				ctx = append(ctx, row[i].Text)
+			}
+			continue
+		}
+		cl = append(cl, row[i].Text)
+		if bt != "" {
+			bl = append(bl, bt)
+		}
+	}
+	context = strings.Join(ctx, " ")
+	baseLabel, candLabel = strings.Join(bl, " "), strings.Join(cl, " ")
+	if baseLabel == "" {
+		baseLabel = rowLabel(base)
+	}
+	if candLabel == "" {
+		candLabel = rowLabel(row)
+	}
+	return context, baseLabel, candLabel
+}
+
+// rowEffects classifies every numeric column of row candRI against row
+// baseRI, per seed. Columns that are non-numeric in either row, or whose
+// baseline hits zero in any seed, are skipped.
+func rowEffects(s *Summary, baseRI, candRI int) []Effect {
+	base, row := s.Rows[baseRI], s.Rows[candRI]
+	var out []Effect
+	for ci := range row {
+		if ci >= len(base) || !row[ci].IsNum || !base[ci].IsNum {
+			continue
+		}
+		deltas := make([]float64, 0, len(row[ci].PerSeed))
+		ok := true
+		for si := range row[ci].PerSeed {
+			b := base[ci].PerSeed[si]
+			if b == 0 {
+				ok = false
+				break
+			}
+			deltas = append(deltas, (row[ci].PerSeed[si]-b)/b)
+		}
+		if !ok {
+			continue
+		}
+		var mean float64
+		for _, d := range deltas {
+			mean += d
+		}
+		mean /= float64(len(deltas))
+		out = append(out, Effect{
+			Column:   s.Columns[ci],
+			Row:      candRI,
+			Label:    rowLabel(row),
+			Baseline: rowLabel(base),
+			Deltas:   deltas,
+			Mean:     mean,
+			Class:    Classify(deltas),
+		})
 	}
 	return out
 }
@@ -316,9 +397,20 @@ func (s *Summary) Markdown() string {
 		b.WriteString("| " + strings.Join(texts, " | ") + " |\n")
 	}
 	if decided := decidedEffects(s.Effects); len(decided) > 0 {
-		fmt.Fprintf(&b, "\n**Effects vs %q** (significant >20%% in every seed, equivalent within 5%%):\n", decided[0].Baseline)
-		for _, e := range decided {
-			fmt.Fprintf(&b, "- %s, %s: %+.1f%% mean — %s\n", e.Label, e.Column, e.Mean*100, e.Class)
+		if s.Paired {
+			b.WriteString("\n**Paired effects** (each candidate vs its declared baseline row; significant >20% in every seed, equivalent within 5%):\n")
+			for _, e := range decided {
+				at := ""
+				if e.Context != "" {
+					at = e.Context + ": "
+				}
+				fmt.Fprintf(&b, "- %s%s vs %s, %s: %+.1f%% mean — %s\n", at, e.Label, e.Baseline, e.Column, e.Mean*100, e.Class)
+			}
+		} else {
+			fmt.Fprintf(&b, "\n**Effects vs %q** (significant >20%% in every seed, equivalent within 5%%):\n", decided[0].Baseline)
+			for _, e := range decided {
+				fmt.Fprintf(&b, "- %s, %s: %+.1f%% mean — %s\n", e.Label, e.Column, e.Mean*100, e.Class)
+			}
 		}
 	}
 	if s.Finding != "" {

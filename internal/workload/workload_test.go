@@ -1,4 +1,4 @@
-package workload
+package workload_test
 
 import (
 	"testing"
@@ -6,11 +6,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/lang"
+	"repro/internal/workload"
 )
 
 func TestUniformShape(t *testing.T) {
-	s := Uniform(2, 3, 5)
-	prog, root, err := Build(s)
+	s := workload.Uniform(2, 3, 5)
+	prog, root, err := workload.Build(s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,14 +23,14 @@ func TestUniformShape(t *testing.T) {
 	if !v.Equal(expr.VInt(8)) {
 		t.Fatalf("uniform(2,3) = %v, want 8", v)
 	}
-	if n := Nodes(s); n != 15 {
-		t.Fatalf("Nodes = %d, want 15", n)
+	if n := workload.Nodes(s); n != 15 {
+		t.Fatalf("workload.Nodes = %d, want 15", n)
 	}
 }
 
 func TestSkewedShape(t *testing.T) {
-	s := Skewed(3, 4, 2)
-	prog, root, err := Build(s)
+	s := workload.Skewed(3, 4, 2)
+	prog, root, err := workload.Build(s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,19 +45,19 @@ func TestSkewedShape(t *testing.T) {
 	if !ok || vi < 4 {
 		t.Fatalf("skewed sum = %v", v)
 	}
-	if Nodes(s) < 8 {
-		t.Fatalf("Nodes = %d, too small for a depth-4 spine", Nodes(s))
+	if workload.Nodes(s) < 8 {
+		t.Fatalf("workload.Nodes = %d, too small for a depth-4 spine", workload.Nodes(s))
 	}
 }
 
 func TestRandomShapeDeterministic(t *testing.T) {
-	a := Random(99, 3, 4, 40)
-	b := Random(99, 3, 4, 40)
-	pa, ra, err := Build(a)
+	a := workload.Random(99, 3, 4, 40)
+	b := workload.Random(99, 3, 4, 40)
+	pa, ra, err := workload.Build(a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pb, rb, err := Build(b)
+	pb, rb, err := workload.Build(b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,9 +72,9 @@ func TestRandomShapeDeterministic(t *testing.T) {
 	if !va.Equal(vb) {
 		t.Fatalf("same seed, different trees: %v vs %v", va, vb)
 	}
-	c := Random(100, 3, 4, 40)
-	if Nodes(a) == Nodes(c) && func() bool {
-		pc, rc, _ := Build(c)
+	c := workload.Random(100, 3, 4, 40)
+	if workload.Nodes(a) == workload.Nodes(c) && func() bool {
+		pc, rc, _ := workload.Build(c)
 		vc, _ := lang.RefEval(pc, rc, nil)
 		return vc.Equal(va)
 	}() {
@@ -82,21 +83,21 @@ func TestRandomShapeDeterministic(t *testing.T) {
 }
 
 func TestBuildValidation(t *testing.T) {
-	if _, _, err := Build(Shape{Depth: 0}); err == nil {
+	if _, _, err := workload.Build(workload.Shape{Depth: 0}); err == nil {
 		t.Error("zero depth accepted")
 	}
 }
 
 func TestShapesRunOnMachineWithFaults(t *testing.T) {
-	shapes := []Shape{
-		Uniform(3, 4, 10),
-		Skewed(4, 6, 30),
-		Random(7, 3, 5, 50),
+	shapes := []workload.Shape{
+		workload.Uniform(3, 4, 10),
+		workload.Skewed(4, 6, 30),
+		workload.Random(7, 3, 5, 50),
 	}
 	for _, s := range shapes {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
-			prog, root, err := Build(s)
+			prog, root, err := workload.Build(s)
 			if err != nil {
 				t.Fatal(err)
 			}
