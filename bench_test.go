@@ -343,6 +343,27 @@ func BenchmarkStressS3FaultDensity(b *testing.B) {
 	}
 }
 
+func BenchmarkStressS4ShapeDiversity(b *testing.B) {
+	run := lookupTable(b, "S4")
+	for i := 0; i < b.N; i++ {
+		if _, err := run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceL3Stream drives the full service-mode stream (32
+// multiplexed requests, mid-stream bursts and cascades, rollback and
+// splice) on the simulator — the profile target for session-kernel work.
+func BenchmarkServiceL3Stream(b *testing.B) {
+	run := lookupTable(b, "L3")
+	for i := 0; i < b.N; i++ {
+		if _, err := run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCascade64Torus isolates the hot path S2 stresses: one cascade
 // recovery on the 64-processor torus, without the table scaffolding.
 func BenchmarkCascade64Torus(b *testing.B) {

@@ -1,12 +1,21 @@
-// Command apsim runs one program on the simulated applicative
-// multiprocessor and prints what happened: the answer, the virtual-time
-// makespan, the metric counters, and (optionally) the full event trace.
+// Command apsim runs one program on the applicative multiprocessor and
+// prints what happened: the answer, the makespan, the metric counters, and
+// (optionally) the full event trace.
+//
+// With -requests N it switches to service mode: one long-lived cluster
+// (core.Open) serves a stream of N copies of the workload, faults from
+// -fault land on the *stream's* clock — mid-traffic, between and inside
+// requests — and the report is the stream's throughput, latency
+// percentiles, and per-request outcomes, every answer checked against the
+// sequential reference evaluator.
 //
 // Examples:
 //
 //	apsim -workload fib:16 -procs 16 -topology mesh -placement gradient
 //	apsim -workload nqueens:6 -recovery splice -fault 2@3000 -trace
 //	apsim -workload tree:4,6 -recovery rollback -fault 1@2000,5@6000s
+//	apsim -workload fib:12 -requests 32 -every 100 -fault 2@4000,5@6000
+//	apsim -workload fib:12 -requests 32 -backend live -fault 2@4000
 //
 // Fault specs are PROC@TIME (announced crash), PROC@TIMEs (silent crash) or
 // PROC@TIMEc (value corruption from TIME on), comma-separated.
@@ -41,9 +50,11 @@ func main() {
 		replicate = flag.Int("replicate", 1, "replica count for every function (§5.3; requires -recovery none)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		backend   = flag.String("backend", "sim", "execution backend: sim (virtual time) or live (goroutine cluster, wall time)")
-		faultSpec = flag.String("fault", "", "fault plan, e.g. 2@3000 or 1@2000s,3@4000c")
+		faultSpec = flag.String("fault", "", "fault plan, e.g. 2@3000 or 1@2000s,3@4000c; in service mode times are stream-clock ticks")
 		showTrace = flag.Bool("trace", false, "print the event trace")
-		deadline  = flag.Int64("deadline", 0, "virtual-time budget (0 = default)")
+		deadline  = flag.Int64("deadline", 0, "virtual-time budget (0 = default); per-request in service mode")
+		requests  = flag.Int("requests", 0, "service mode: serve N copies of the workload through one open cluster (0 = one-shot)")
+		every     = flag.Int64("every", 0, "service mode: admit requests this many virtual ticks apart on the sim stream clock (0 = all at once)")
 	)
 	flag.Parse()
 
@@ -85,6 +96,11 @@ func main() {
 		for _, fn := range w.Program.Names() {
 			cfg.Replication[fn] = *replicate
 		}
+	}
+	if *requests > 0 {
+		cfg.ArrivalEvery = *every
+		serve(*backend, cfg, w, plan, *requests)
+		return
 	}
 	rep, err := cfg.RunOn(*backend, w, plan)
 	if err != nil {
@@ -138,6 +154,50 @@ func main() {
 			rep.Messages, rep.Spawned, rep.Reissued, rep.Drained)
 		fmt.Printf("reissues   : per node %v\n", rep.ReissuesByNode)
 	}
+}
+
+// serve runs service mode: open one cluster, stream n copies of the
+// workload through it with the fault plan landing on the stream clock, and
+// print the stream report with every answer checked against the reference.
+func serve(backend string, cfg core.Config, w core.Workload, plan *faults.Plan, n int) {
+	cl, err := core.OpenOn(backend, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	tickets := make([]*core.Ticket, 0, n)
+	for i := 0; i < n; i++ {
+		tickets = append(tickets, cl.Submit(w))
+	}
+	if len(plan.Faults) > 0 {
+		if err := cl.Inject(plan); err != nil {
+			fatal(err)
+		}
+	}
+	verified, timeouts := 0, 0
+	for i, tk := range tickets {
+		rep, err := tk.Wait()
+		if err != nil {
+			fatal(fmt.Errorf("request %d: %w", i, err))
+		}
+		if !rep.Completed {
+			timeouts++
+			continue
+		}
+		if _, err := tk.Verify(); err != nil {
+			fatal(fmt.Errorf("request %d: %w", i, err))
+		}
+		verified++
+	}
+	sr, err := cl.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(sr.Render())
+	fmt.Printf("reference  : %d/%d answers match the sequential reference evaluator", verified, n)
+	if timeouts > 0 {
+		fmt.Printf(" (%d timed out)", timeouts)
+	}
+	fmt.Println()
 }
 
 // parseFaults parses "2@3000,1@4000s,5@100c".

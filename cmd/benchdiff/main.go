@@ -1,10 +1,11 @@
 // Command benchdiff compares two BENCH_N.json snapshots (the -json output
 // of cmd/experiments) and flags performance regressions: for every table
 // artifact present in both snapshots it extracts the makespan/vticks and
-// message columns, averages them across rows and seeds, and reports the
-// relative change. Any tracked metric growing past the threshold (default
-// +10%) is a regression and the command exits non-zero, so CI can gate on
-// consecutive committed snapshots:
+// message columns (hard-gated) plus the service-stream throughput and
+// latency columns (informational), averages them across rows and seeds, and
+// reports the relative change. Any hard-gated metric growing past the
+// threshold (default +10%) is a regression and the command exits non-zero,
+// so CI can gate on consecutive committed snapshots:
 //
 //	benchdiff BENCH_1.json BENCH_2.json
 //	benchdiff -threshold 0.05 -all BENCH_1.json BENCH_2.json
@@ -40,12 +41,19 @@ type metrics map[string]float64
 // tracked maps a column name to the metric class benchdiff watches. Matching
 // is by substring on the lower-cased column, so "makespan (ckpt)" and
 // "task messages" count while labels like "scheme" do not. Units never mix:
-// wall-clock columns (µs) form their own class, and live-backend columns are
-// prefixed so a sim vtick count is never averaged with a wall measurement.
+// wall-clock columns (µs) form their own class, the service-stream
+// throughput and latency columns form theirs (checked first, so "p99
+// latency (µs)" classifies as latency, not as a wall makespan), and
+// live-backend columns are prefixed so a sim vtick count is never averaged
+// with a wall measurement.
 func tracked(column string) (string, bool) {
 	c := strings.ToLower(column)
 	var class string
 	switch {
+	case strings.Contains(c, "throughput") || strings.Contains(c, "req/"):
+		class = "throughput"
+	case strings.Contains(c, "latency"):
+		class = "latency"
 	case strings.Contains(c, "µs"):
 		class = "wall-µs"
 	case strings.Contains(c, "makespan"):
@@ -62,9 +70,16 @@ func tracked(column string) (string, bool) {
 }
 
 // gated reports whether a metric class counts toward the regression exit
-// code. Wall-clock classes are machine-dependent, so they are printed for
-// information but never fail the gate.
-func gated(class string) bool { return !strings.Contains(class, "wall") }
+// code. Wall-clock classes are machine-dependent, and the stream
+// throughput/latency aggregates fold queueing effects that legitimate
+// changes (a different admission schedule, more requests) move around, so
+// all three are printed for information but never fail the gate; vticks and
+// messages stay hard-gated.
+func gated(class string) bool {
+	return !strings.Contains(class, "wall") &&
+		!strings.Contains(class, "latency") &&
+		!strings.Contains(class, "throughput")
+}
 
 // load reads a snapshot and folds each table artifact into its tracked
 // metrics: the mean over every numeric cell of a tracked column, over every

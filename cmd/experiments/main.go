@@ -16,7 +16,7 @@
 //	experiments -seeds 3 -parallel 8     # fan the (experiment × seed) grid out
 //	experiments -exp T3 -seeds 3 -json   # machine-readable per-seed + aggregate output
 //	experiments -markdown -seeds 5       # self-contained EXPERIMENTS.md document
-//	experiments -backend live -run L1,L2 # live-backend artifacts on real goroutines
+//	experiments -backend live -run L1,L3 # live-backend artifacts on real goroutines
 //	experiments -list                    # show the registered artifact ids + backends
 //
 // Artifacts declare the core backend they need; with -backend sim (the
@@ -42,7 +42,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "artifacts: all, one id (F1/F2/F5/F6/F7, T1..T7, A1..A4, S1..S3, L1..L2, any case; see -list), or a comma-separated list")
+		exp      = flag.String("exp", "all", "artifacts: all, one id (F1/F2/F5/F6/F7, T1..T7, A1..A4, S1..S4, L1..L3, any case; see -list), or a comma-separated list")
 		run      = flag.String("run", "", "alias for -exp (takes precedence when set)")
 		backend  = flag.String("backend", "sim", "execution backend: sim (discrete-event simulator) or live (goroutine cluster); artifacts not declaring the backend render a skip note")
 		seed     = flag.Int64("seed", 1, "base random seed for the quantitative tables")

@@ -62,6 +62,16 @@ type Report struct {
 	// Sim is the simulator's full report (metrics, trace, state samples);
 	// nil when another backend produced this report.
 	Sim *machine.Report
+
+	// Request is the request's stream index when the report describes one
+	// request of a service-mode cluster (one-shot reports are request 0).
+	Request int
+	// ArrivedAt and DoneAt are stream-clock stamps in Unit for service-mode
+	// requests: admission and completion (DoneAt 0 when incomplete). The
+	// message and reissue counters of per-request reports are zero — the
+	// substrate is shared, so those totals live on the stream's
+	// ServiceReport — while Makespan is the request's own service latency.
+	ArrivedAt, DoneAt int64
 }
 
 // Backend is one execution substrate for the applicative machine: the
@@ -74,6 +84,50 @@ type Backend interface {
 	Name() string
 	// Run evaluates the workload under the fault plan and reports.
 	Run(cfg Config, w Workload, plan *faults.Plan) (*Report, error)
+}
+
+// SessionBackend is the optional capability of a backend that can keep its
+// network alive across requests: Open returns a long-lived Session serving a
+// request stream, with faults injectable against the stream's clock. Both
+// bundled substrates implement it; a backend without the capability is
+// batch-only and can still Run, but Open/OpenOn reject it.
+type SessionBackend interface {
+	Backend
+	// Open brings the substrate up under the config and keeps it up until
+	// the session is closed.
+	Open(cfg Config) (Session, error)
+}
+
+// Session is one open service stream on a substrate. Sessions are safe for
+// concurrent use; Cluster is the ergonomic wrapper callers normally hold.
+type Session interface {
+	// Submit enqueues the workload and returns its request handle. On the
+	// simulator, requests of one admission batch enter the stream in a
+	// canonical order (spec, fn, args, then submission order), which makes
+	// concurrent submission of distinguishable workloads deterministic.
+	Submit(w Workload) (SessionRequest, error)
+	// Inject schedules the plan's faults on the stream clock (a fault at
+	// tick t fires at stream tick t, clamped to now if already past) and
+	// returns the stream stamps, in the plan's time order, that the faults
+	// fire at — in the backend's Unit.
+	Inject(plan *faults.Plan) ([]int64, error)
+	// Unit is the stream clock's unit: Ticks (sim) or WallMicros (live).
+	Unit() TimeUnit
+	// Close finishes the stream, resolves any still-open requests, tears the
+	// substrate down, and returns the aggregate report — the same shape a
+	// one-shot Run returns, with stream-total counters (and, on the
+	// simulator, the full Sim detail).
+	Close() (*Report, error)
+}
+
+// SessionRequest is the future of one submitted request.
+type SessionRequest interface {
+	// Wait blocks until the request completes, times out its per-request
+	// budget, or the stream fails; the report is the per-request view
+	// (answer, completion, stream stamps, service latency). The error is a
+	// submission or stream failure; an answer that merely timed out reports
+	// Completed false with a nil error.
+	Wait() (*Report, error)
 }
 
 var (
@@ -108,24 +162,32 @@ func MustRegisterBackend(b Backend) {
 	}
 }
 
-// ByName resolves a registered backend.
+// ByName resolves a registered backend. The error text lists the known
+// backends in exactly the Backends() order, so help strings and error
+// messages can never drift apart.
 func ByName(name string) (Backend, error) {
 	backendMu.RLock()
 	defer backendMu.RUnlock()
 	if b, ok := backendByNm[name]; ok {
 		return b, nil
 	}
-	known := append([]string(nil), backendOrder...)
-	sort.Strings(known)
-	return nil, fmt.Errorf("core: unknown backend %q (known: %v)", name, known)
+	return nil, fmt.Errorf("core: unknown backend %q (known: %v)", name, sortedBackendsLocked())
 }
 
-// Backends lists the registered backend names in registration order ("sim"
-// first; "live" follows once internal/livenet is linked in).
+// Backends lists the registered backend names in the one documented order:
+// sorted alphabetically ("live" before "sim" once internal/livenet is
+// linked in). ByName error text and every CLI help string use this order.
 func Backends() []string {
 	backendMu.RLock()
 	defer backendMu.RUnlock()
-	return append([]string(nil), backendOrder...)
+	return sortedBackendsLocked()
+}
+
+// sortedBackendsLocked returns the sorted name list; callers hold backendMu.
+func sortedBackendsLocked() []string {
+	out := append([]string(nil), backendOrder...)
+	sort.Strings(out)
+	return out
 }
 
 // simBackend runs the discrete-event simulator (internal/machine).
@@ -136,35 +198,35 @@ func init() { MustRegisterBackend(simBackend{}) }
 // Name implements Backend.
 func (simBackend) Name() string { return "sim" }
 
-// Run implements Backend: build the simulated machine and wrap its report in
-// the backend-neutral form.
+// Run implements Backend as the degenerate service stream — open a session,
+// submit the one workload, inject the plan, drain, close — which the
+// machine's session drives through the byte-identical event sequence of the
+// old one-shot path.
 func (simBackend) Run(cfg Config, w Workload, plan *faults.Plan) (*Report, error) {
-	m, err := cfg.Build(w.Program)
+	s := newSimSession(cfg)
+	sr, err := s.Submit(w)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := m.Run(w.Fn, w.Args, plan)
-	if err != nil {
+	// Surface setup errors in the historical order: start flushes the batch
+	// and returns the machine-build error or the entry-function error (in
+	// that order), then the fault plan validates.
+	if err := s.start(); err != nil {
 		return nil, err
 	}
-	n := rep.NeutralCounts()
-	return &Report{
-		Backend:    "sim",
-		Answer:     rep.Answer,
-		Completed:  rep.Completed,
-		Err:        rep.Err,
-		Makespan:   int64(rep.Makespan),
-		Unit:       Ticks,
-		Messages:   n.Messages,
-		Spawned:    n.Spawned,
-		Reissued:   n.Reissued,
-		Drained:    n.Drained,
-		Recoveries: n.Recoveries,
-		Procs:      rep.Procs,
-		Scheme:     rep.Scheme,
-		Placement:  rep.Placement,
-		Sim:        rep,
-	}, nil
+	if _, err := s.Inject(plan); err != nil {
+		return nil, err
+	}
+	if _, err := sr.Wait(); err != nil {
+		return nil, err
+	}
+	return s.Close()
+}
+
+// Open implements SessionBackend: a long-lived simulator session serving a
+// request stream on one event kernel.
+func (simBackend) Open(cfg Config) (Session, error) {
+	return newSimSession(cfg), nil
 }
 
 // VerifyOn runs the workload on the named backend and checks the answer

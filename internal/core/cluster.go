@@ -1,0 +1,355 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Cluster is a long-lived service stream on one substrate: Open brings the
+// backend's network up and keeps it alive across requests, Submit enqueues a
+// workload and returns a future, Inject schedules faults against the
+// stream's clock so crashes land mid-traffic (between and inside requests),
+// and Drain/Close finish the stream. One-shot Run is the degenerate case:
+// Open → Submit → Close with a single request.
+type Cluster struct {
+	backend string
+	sess    Session
+	unit    TimeUnit
+
+	mu       sync.Mutex
+	tickets  []*Ticket
+	stamps   []int64
+	closed   bool
+	closeRep *ServiceReport
+	closeErr error
+}
+
+// Open starts a service stream on cfg.Backend ("" = the simulator).
+func Open(cfg Config) (*Cluster, error) {
+	return OpenOn(cfg.Backend, cfg)
+}
+
+// OpenOn starts a service stream on the named backend. The backend must
+// implement the SessionBackend capability; batch-only backends are rejected.
+func OpenOn(backend string, cfg Config) (*Cluster, error) {
+	if backend == "" {
+		backend = "sim"
+	}
+	b, err := ByName(backend)
+	if err != nil {
+		return nil, err
+	}
+	sb, ok := b.(SessionBackend)
+	if !ok {
+		return nil, fmt.Errorf("core: backend %q is batch-only (no session capability)", backend)
+	}
+	sess, err := sb.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{backend: backend, sess: sess, unit: sess.Unit()}, nil
+}
+
+// Backend names the substrate serving the stream.
+func (c *Cluster) Backend() string { return c.backend }
+
+// Unit is the stream clock's unit.
+func (c *Cluster) Unit() TimeUnit { return c.unit }
+
+// Ticket is the future of one submitted request.
+type Ticket struct {
+	w    Workload
+	req  SessionRequest
+	err0 error
+
+	once sync.Once
+	rep  *Report
+	err  error
+}
+
+// Workload returns what the ticket was submitted for.
+func (t *Ticket) Workload() Workload { return t.w }
+
+// Wait blocks until the request resolves. The report is the per-request
+// view; a request that timed out its budget reports Completed false with a
+// nil error. Wait is idempotent and safe from several goroutines.
+func (t *Ticket) Wait() (*Report, error) {
+	t.once.Do(func() {
+		if t.err0 != nil {
+			t.err = t.err0
+			return
+		}
+		t.rep, t.err = t.req.Wait()
+	})
+	return t.rep, t.err
+}
+
+// Verify waits for the request and checks its answer against the sequential
+// reference evaluator — the per-request form of VerifyOn's determinacy
+// check (§2.1).
+func (t *Ticket) Verify() (*Report, error) {
+	rep, err := t.Wait()
+	if err != nil {
+		return rep, err
+	}
+	return rep, verifyReport(rep, t.w)
+}
+
+// Submit enqueues a request. Submission never blocks on the stream; errors
+// (closed cluster, unknown entry function) surface on the ticket's Wait.
+func (c *Cluster) Submit(w Workload) *Ticket {
+	t := &Ticket{w: w}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		t.err0 = errors.New("core: cluster closed")
+		return t
+	}
+	req, err := c.sess.Submit(w)
+	t.req, t.err0 = req, err
+	c.tickets = append(c.tickets, t)
+	return t
+}
+
+// SubmitSpec is Submit for a StandardWorkload spec.
+func (c *Cluster) SubmitSpec(spec string) (*Ticket, error) {
+	w, err := StandardWorkload(spec)
+	if err != nil {
+		return nil, err
+	}
+	return c.Submit(w), nil
+}
+
+// Inject schedules the plan's faults on the stream clock and records their
+// stream stamps for the recovery-window accounting of the final
+// ServiceReport.
+func (c *Cluster) Inject(plan *FaultPlan) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("core: cluster closed")
+	}
+	stamps, err := c.sess.Inject(plan)
+	c.stamps = append(c.stamps, stamps...)
+	return err
+}
+
+// Drain waits for every submitted request and returns the first submission
+// or stream error (requests that merely timed out are not errors; they
+// count as failed in the service report).
+func (c *Cluster) Drain() error {
+	c.mu.Lock()
+	tickets := append([]*Ticket(nil), c.tickets...)
+	c.mu.Unlock()
+	var firstErr error
+	for _, t := range tickets {
+		if _, err := t.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close drains the stream, tears the substrate down, and returns the
+// stream-level service report. Per-request failures (bad submissions,
+// timeouts) are data — the report's Failed count and PerRequest rows — not
+// Close errors; only a substrate-level failure errors. Idempotent.
+func (c *Cluster) Close() (*ServiceReport, error) {
+	c.mu.Lock()
+	tickets := append([]*Ticket(nil), c.tickets...)
+	c.mu.Unlock()
+	for _, t := range tickets {
+		_, _ = t.Wait()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return c.closeRep, c.closeErr
+	}
+	c.closed = true
+	totals, err := c.sess.Close()
+	if err != nil {
+		c.closeErr = err
+		return nil, err
+	}
+	c.closeRep = c.buildServiceReportLocked(totals)
+	return c.closeRep, nil
+}
+
+// buildServiceReportLocked folds ticket reports, fault stamps and the
+// substrate totals into the stream-level report.
+func (c *Cluster) buildServiceReportLocked(totals *Report) *ServiceReport {
+	sr := &ServiceReport{
+		Backend:     c.backend,
+		Unit:        c.unit,
+		Requests:    len(c.tickets),
+		FaultStamps: append([]int64(nil), c.stamps...),
+		Totals:      totals,
+	}
+	if totals != nil {
+		sr.Procs = totals.Procs
+		sr.Scheme = totals.Scheme
+		sr.Placement = totals.Placement
+		sr.Messages = totals.Messages
+		sr.Spawned = totals.Spawned
+		sr.Reissued = totals.Reissued
+		sr.Drained = totals.Drained
+		sr.Recoveries = totals.Recoveries
+	}
+	sort.Slice(sr.FaultStamps, func(i, j int) bool { return sr.FaultStamps[i] < sr.FaultStamps[j] })
+	var latencies []int64
+	var first, last int64
+	for _, t := range c.tickets {
+		rep, err := t.Wait()
+		if err != nil || rep == nil || rep.Err != nil || !rep.Completed {
+			sr.Failed++
+			if rep != nil {
+				sr.PerRequest = append(sr.PerRequest, rep)
+			}
+			continue
+		}
+		sr.PerRequest = append(sr.PerRequest, rep)
+		sr.Completed++
+		latencies = append(latencies, rep.Makespan)
+		if sr.Completed == 1 || rep.ArrivedAt < first {
+			first = rep.ArrivedAt
+		}
+		if rep.DoneAt > last {
+			last = rep.DoneAt
+		}
+		during := false
+		for _, s := range sr.FaultStamps {
+			if s >= rep.ArrivedAt && s <= rep.DoneAt {
+				during = true
+				break
+			}
+		}
+		if during {
+			sr.DuringRecovery++
+		} else {
+			sr.OutsideRecovery++
+		}
+	}
+	sort.Slice(sr.PerRequest, func(i, j int) bool {
+		a, b := sr.PerRequest[i], sr.PerRequest[j]
+		if a.Request != b.Request {
+			return a.Request < b.Request
+		}
+		return a.ArrivedAt < b.ArrivedAt
+	})
+	if sr.Completed > 0 {
+		sr.Span = last - first
+		if sr.Span > 0 {
+			sr.Throughput = float64(sr.Completed) * 1e6 / float64(sr.Span)
+		}
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		var sum int64
+		for _, l := range latencies {
+			sum += l
+		}
+		sr.LatencyMean = sum / int64(len(latencies))
+		sr.LatencyP50 = percentile(latencies, 50)
+		sr.LatencyP99 = percentile(latencies, 99)
+	}
+	return sr
+}
+
+// percentile is the nearest-rank percentile of a sorted slice.
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p*n/100)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// ServiceReport is the stream-level outcome of a service-mode cluster: what
+// a substrate serving traffic under faults can be judged by. Latencies and
+// the span are in Unit; Throughput is requests per 1e6 units of stream time
+// — exactly requests/second on the live backend (µs) and requests per
+// megatick on the simulator.
+type ServiceReport struct {
+	// Backend, Unit, Procs, Scheme, Placement echo the configuration.
+	Backend           string
+	Unit              TimeUnit
+	Procs             int
+	Scheme, Placement string
+
+	// Requests counts submissions; Completed the requests that finished with
+	// an answer inside their budget; Failed the rest (submission errors,
+	// evaluation errors, timeouts).
+	Requests, Completed, Failed int
+
+	// Span is the stream time from the first completed request's admission
+	// to the last completion; Throughput is Completed per 1e6 units of Span.
+	Span       int64
+	Throughput float64
+
+	// Latency aggregates over completed requests (service latency =
+	// completion − admission), nearest-rank percentiles.
+	LatencyMean, LatencyP50, LatencyP99 int64
+
+	// DuringRecovery counts completed requests whose service interval
+	// contained at least one injected fault — they were answered while the
+	// system was crashing and recovering around them; OutsideRecovery is the
+	// rest. FaultStamps are the injected stream stamps, sorted.
+	DuringRecovery, OutsideRecovery int
+	FaultStamps                     []int64
+
+	// Stream-total counters from the substrate.
+	Messages, Spawned, Reissued, Drained, Recoveries int64
+
+	// PerRequest holds the per-request reports in stream order; Totals is
+	// the substrate's aggregate report (Sim detail on the simulator).
+	PerRequest []*Report
+	Totals     *Report
+}
+
+// ThroughputLabel names the throughput unit for the report's clock.
+func (sr *ServiceReport) ThroughputLabel() string {
+	if sr.Unit == WallMicros {
+		return "req/s"
+	}
+	return "req/Mtick"
+}
+
+// Render is the deterministic textual form of the report: the header, the
+// stream aggregates, and one line per request. Tests compare these bytes to
+// assert the sequential and concurrent submission schedules are identical.
+func (sr *ServiceReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "service stream on %s: %d procs, %s/%s\n",
+		sr.Backend, sr.Procs, sr.Scheme, sr.Placement)
+	fmt.Fprintf(&b, "requests   : %d submitted, %d completed, %d failed\n",
+		sr.Requests, sr.Completed, sr.Failed)
+	fmt.Fprintf(&b, "stream     : span %d %s, throughput %.3f %s\n",
+		sr.Span, sr.Unit, sr.Throughput, sr.ThroughputLabel())
+	fmt.Fprintf(&b, "latency    : mean %d, p50 %d, p99 %d (%s)\n",
+		sr.LatencyMean, sr.LatencyP50, sr.LatencyP99, sr.Unit)
+	fmt.Fprintf(&b, "recovery   : %d completed during recovery, %d outside (fault stamps %v)\n",
+		sr.DuringRecovery, sr.OutsideRecovery, sr.FaultStamps)
+	fmt.Fprintf(&b, "counters   : %d messages, %d spawned, %d reissued, %d drained, %d recoveries\n",
+		sr.Messages, sr.Spawned, sr.Reissued, sr.Drained, sr.Recoveries)
+	for _, rep := range sr.PerRequest {
+		label := rep.Answer
+		status := "ok"
+		if !rep.Completed {
+			status = "timeout"
+		}
+		if rep.Err != nil {
+			status = "error: " + rep.Err.Error()
+		}
+		fmt.Fprintf(&b, "  req %-3d arrived %-8d done %-8d latency %-8d %s %v\n",
+			rep.Request, rep.ArrivedAt, rep.DoneAt, rep.Makespan, status, label)
+	}
+	return b.String()
+}

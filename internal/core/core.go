@@ -68,11 +68,23 @@ type Config struct {
 	DisableCheckpoints bool
 	// Trace enables event logging when true.
 	Trace bool
-	// Deadline overrides the virtual-time budget (0 = default).
+	// Deadline overrides the virtual-time budget (0 = default). In service
+	// mode it is the per-request budget, counted from the request's
+	// admission on the stream clock.
 	Deadline int64
 	// Raw exposes every low-level machine knob; fields set there win over
 	// the convenience fields above.
 	Raw *machine.Config
+
+	// Backend names the substrate Open serves on ("" = "sim"); one-shot Run
+	// always uses the simulator, exactly as before.
+	Backend string
+	// ArrivalEvery spaces successive service-mode request admissions this
+	// many virtual ticks apart on the simulator's stream clock, so faults
+	// land between and inside requests (0 = admit each batch at once). The
+	// live network admits requests when Submit is called — real time needs
+	// no synthetic spacing — so the field is sim-only.
+	ArrivalEvery int64
 }
 
 // Workload names a program and its invocation.
@@ -80,6 +92,11 @@ type Workload struct {
 	Program *lang.Program
 	Fn      string
 	Args    []expr.Value
+	// Spec is the StandardWorkload spec the workload was built from, when it
+	// was ("" for hand-built workloads). Reports use it as a label, and the
+	// sim service stream uses it in the canonical admission order, which is
+	// what makes concurrent Submit calls deterministic (see Cluster).
+	Spec string
 }
 
 // StandardWorkload builds one of the bundled programs by name:
@@ -92,35 +109,44 @@ type Workload struct {
 //	shape:skew:WIDTH,DEPTH,LEAFCOST
 //	shape:random:SEED,MAXFANOUT,DEPTH,MAXLEAFCOST
 func StandardWorkload(spec string) (Workload, error) {
+	w, err := standardWorkload(spec)
+	if err != nil {
+		return w, err
+	}
+	w.Spec = spec
+	return w, nil
+}
+
+func standardWorkload(spec string) (Workload, error) {
 	if strings.HasPrefix(spec, "shape:") {
 		return shapeWorkload(spec)
 	}
 	var a, b, c int64
 	n, err := fmt.Sscanf(spec, "fib:%d", &a)
 	if n == 1 && err == nil {
-		return Workload{lang.Fib(), "fib", []expr.Value{expr.VInt(a)}}, nil
+		return Workload{Program: lang.Fib(), Fn: "fib", Args: []expr.Value{expr.VInt(a)}}, nil
 	}
 	if n, err = fmt.Sscanf(spec, "tak:%d,%d,%d", &a, &b, &c); n == 3 && err == nil {
-		return Workload{lang.Tak(), "tak", []expr.Value{expr.VInt(a), expr.VInt(b), expr.VInt(c)}}, nil
+		return Workload{Program: lang.Tak(), Fn: "tak", Args: []expr.Value{expr.VInt(a), expr.VInt(b), expr.VInt(c)}}, nil
 	}
 	if n, err = fmt.Sscanf(spec, "nqueens:%d", &a); n == 1 && err == nil {
-		return Workload{lang.NQueens(), "nqueens", []expr.Value{expr.VInt(a)}}, nil
+		return Workload{Program: lang.NQueens(), Fn: "nqueens", Args: []expr.Value{expr.VInt(a)}}, nil
 	}
 	if n, err = fmt.Sscanf(spec, "sumrange:%d", &a); n == 1 && err == nil {
-		return Workload{lang.SumRange(16), "sumrange", []expr.Value{expr.VInt(0), expr.VInt(a)}}, nil
+		return Workload{Program: lang.SumRange(16), Fn: "sumrange", Args: []expr.Value{expr.VInt(0), expr.VInt(a)}}, nil
 	}
 	if n, err = fmt.Sscanf(spec, "msort:%d", &a); n == 1 && err == nil {
 		xs := make([]int64, a)
 		for i := range xs {
 			xs[i] = (int64(i)*7919 + 13) % 1000
 		}
-		return Workload{lang.MergeSort(), "msort", []expr.Value{expr.IntList(xs...)}}, nil
+		return Workload{Program: lang.MergeSort(), Fn: "msort", Args: []expr.Value{expr.IntList(xs...)}}, nil
 	}
 	if n, err = fmt.Sscanf(spec, "tree:%d,%d", &a, &b); n == 2 && err == nil {
-		return Workload{lang.TreeSum(int(a)), "tree", []expr.Value{expr.VInt(b)}}, nil
+		return Workload{Program: lang.TreeSum(int(a)), Fn: "tree", Args: []expr.Value{expr.VInt(b)}}, nil
 	}
 	if n, err = fmt.Sscanf(spec, "binom:%d,%d", &a, &b); n == 2 && err == nil {
-		return Workload{lang.Binomial(), "binom", []expr.Value{expr.VInt(a), expr.VInt(b)}}, nil
+		return Workload{Program: lang.Binomial(), Fn: "binom", Args: []expr.Value{expr.VInt(a), expr.VInt(b)}}, nil
 	}
 	return Workload{}, fmt.Errorf("core: unknown workload spec %q", spec)
 }

@@ -2,8 +2,6 @@ package livenet
 
 import (
 	"errors"
-	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -62,132 +60,39 @@ func init() { core.MustRegisterBackend(Backend{}) }
 // Name implements core.Backend.
 func (Backend) Name() string { return "live" }
 
-// Run implements core.Backend: build the cluster, submit the root, replay
-// the fault plan on the wall clock, and wait (bounded) for the answer.
+// Run implements core.Backend as the degenerate service stream: Open the
+// persistent node network, Submit the one root, Inject the plan on the wall
+// clock, wait (bounded) for the answer, and Close. The report keeps its
+// historical shape — makespan is submission-to-answer wall µs, counters and
+// per-node reissue stats are the stream totals.
 func (b Backend) Run(cfg core.Config, w core.Workload, plan *faults.Plan) (*core.Report, error) {
 	if w.Program == nil {
 		return nil, errors.New("livenet: program required")
 	}
-	procs := cfg.Procs
-	if procs == 0 {
-		procs = 8
-	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	scheme := cfg.Recovery
-	if scheme == "" {
-		scheme = "rollback"
-	}
-	if scheme != "rollback" && scheme != "none" {
-		return nil, fmt.Errorf("livenet: recovery %q not supported on the live backend (rollback per-parent reissue, or none)", cfg.Recovery)
-	}
-	if cfg.Placement != "" && cfg.Placement != "random" {
-		return nil, fmt.Errorf("livenet: placement %q not supported on the live backend (random only)", cfg.Placement)
-	}
-	// Reject the sim-only knobs that would change what a run measures if
-	// silently dropped. (Topology, AncestorDepth and Trace are inert here —
-	// the channel interconnect is complete, per-parent reissue has no
-	// ancestor escalation to tune, and there is no event log — so they are
-	// documented as ignored rather than rejected; the CLIs set defaults for
-	// them unconditionally.)
-	switch {
-	case len(cfg.Replication) > 0:
-		return nil, errors.New("livenet: §5.3 task replication is not implemented on the live backend")
-	case cfg.DisableCheckpoints:
-		return nil, errors.New("livenet: checkpoints cannot be disabled on the live backend (parents always retain child packets)")
-	case cfg.Raw != nil:
-		return nil, errors.New("livenet: Config.Raw holds simulator machine knobs; the live backend takes none of them")
-	}
-	if plan == nil {
-		plan = faults.None()
-	}
-	if err := plan.Validate(procs); err != nil {
-		return nil, err
-	}
-	for _, f := range plan.Faults {
-		if f.Kind == faults.Corrupt {
-			return nil, fmt.Errorf("livenet: fault %v: value corruption needs §5.3 voting, which only the simulator implements", f)
-		}
-	}
-	if k := len(plan.Procs()); k >= procs {
-		return nil, fmt.Errorf("livenet: plan kills %d of %d nodes; at least one must survive", k, procs)
-	}
-
-	timescale := b.Timescale
-	if timescale <= 0 {
-		timescale = DefaultTimescale
-	}
-	deadline := b.Deadline
-	if deadline <= 0 {
-		deadline = DefaultDeadline
-	}
-	if cfg.Deadline > 0 {
-		deadline = time.Duration(cfg.Deadline) * timescale
-	}
-
-	c, err := New(w.Program, procs, seed)
+	sess, err := b.Open(cfg)
 	if err != nil {
 		return nil, err
 	}
-	defer c.Shutdown()
-	if scheme == "none" {
-		c.DisableRecovery()
-	}
-	start := time.Now()
-	if err := c.Start(w.Fn, w.Args); err != nil {
+	req, err := sess.Submit(w)
+	if err != nil {
+		_, _ = sess.Close()
 		return nil, err
 	}
-
-	// Replay the plan: one scheduler goroutine walks the time-sorted faults
-	// and kills each processor at its wall-scaled instant. Kills of already-
-	// dead nodes (overlapping merged plans) are ignored, like the simulator's
-	// post-death injections. The scheduler is stopped and joined before
-	// Shutdown so no Kill races the cluster teardown.
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for _, f := range plan.Sorted() {
-			if d := time.Duration(f.At)*timescale - time.Since(start); d > 0 {
-				select {
-				case <-time.After(d):
-				case <-stop:
-					return
-				}
-			}
-			select {
-			case <-stop:
-				return
-			default:
-			}
-			_ = c.Kill(int(f.Proc))
-		}
-	}()
-
-	answer, waitErr := c.Wait(deadline)
-	elapsed := time.Since(start)
-	close(stop)
-	wg.Wait()
-
-	spawned, reissued, drained := c.Stats()
-	rep := &core.Report{
-		Backend:        "live",
-		Answer:         answer,
-		Completed:      waitErr == nil,
-		Makespan:       elapsed.Microseconds(),
-		Unit:           core.WallMicros,
-		Messages:       c.Messages(),
-		Spawned:        spawned,
-		Reissued:       reissued,
-		Drained:        drained,
-		Recoveries:     reissued,
-		Procs:          procs,
-		Scheme:         scheme,
-		Placement:      "random",
-		ReissuesByNode: c.ReissuesByNode(),
+	if _, err := sess.Inject(plan); err != nil {
+		_, _ = sess.Close()
+		return nil, err
 	}
-	return rep, nil
+	rep0, err := req.Wait()
+	if err != nil {
+		_, _ = sess.Close()
+		return nil, err
+	}
+	totals, err := sess.Close()
+	if err != nil {
+		return nil, err
+	}
+	totals.Answer = rep0.Answer
+	totals.Completed = rep0.Completed
+	totals.Makespan = rep0.Makespan
+	return totals, nil
 }

@@ -45,6 +45,12 @@ type packet struct {
 	parentNode int // -1 = the cluster itself (super-root, §4.3.1)
 	parentTask stamp.Stamp
 	holeID     int
+	// prog is the program the packet's fn resolves in. Requests of one
+	// service stream may carry different programs (with clashing function
+	// names), so every packet names its own; children inherit their
+	// parent's. Code is resident in-process — this is a pointer, not wire
+	// payload. nil falls back to the cluster's build program.
+	prog *lang.Program
 }
 
 type resultMsg struct {
@@ -89,14 +95,33 @@ type node struct {
 	reissues atomic.Int64
 }
 
+// Request is one submitted root application: the cluster retains its root
+// packet (the super-root pre-evaluation checkpoint of §4.3.1) and routes
+// its answer to a private channel, so many requests can be in flight on the
+// persistent node network at once.
+type Request struct {
+	id       uint32
+	resultCh chan expr.Value
+	rootPkt  *packet
+	rootDest int
+	done     bool
+}
+
+// ID is the request's stream index.
+func (r *Request) ID() int { return int(r.id) }
+
 // Cluster is a live machine.
 type Cluster struct {
 	prog  *lang.Program
 	nodes []*node
 
-	resultCh chan expr.Value
-	rootPkt  *packet // the super-root's pre-evaluation checkpoint
-	rootDest atomic.Int64
+	// reqMu guards the request table and each request's rootDest/done;
+	// deliverRoot and Kill both take it, so a root reissue can never race
+	// its own completion.
+	reqMu   sync.Mutex
+	reqs    map[uint32]*Request
+	nextReq uint32
+	defReq  *Request // the Start/Wait single-request compatibility handle
 
 	spawned   atomic.Int64
 	reissued  atomic.Int64
@@ -121,12 +146,14 @@ type Cluster struct {
 // announced and nothing is reissued. Call before Start.
 func (c *Cluster) DisableRecovery() { c.noRecovery = true }
 
-// New builds a cluster of n goroutine nodes evaluating prog.
+// New builds a cluster of n goroutine nodes. prog is the default program
+// for Start; it may be nil when every workload arrives through Submit with
+// its own program (the service stream).
 func New(prog *lang.Program, n int, seed int64) (*Cluster, error) {
 	if n < 2 {
 		return nil, errors.New("livenet: need at least 2 nodes")
 	}
-	c := &Cluster{prog: prog, resultCh: make(chan expr.Value, 1), quit: make(chan struct{})}
+	c := &Cluster{prog: prog, reqs: map[uint32]*Request{}, quit: make(chan struct{})}
 	for i := 0; i < n; i++ {
 		nd := &node{
 			id:    i,
@@ -149,23 +176,49 @@ func New(prog *lang.Program, n int, seed int64) (*Cluster, error) {
 	return c, nil
 }
 
-// Start submits the root application; the cluster retains its packet (the
-// super-root pre-evaluation checkpoint of §4.3.1).
-func (c *Cluster) Start(fn string, args []expr.Value) error {
-	if _, ok := c.prog.Func(fn); !ok {
-		return fmt.Errorf("livenet: unknown function %q", fn)
+// Submit enqueues one root application on the persistent network and
+// returns its request handle. The root packet is stamped with the request's
+// stream index, so every request's task tree is disjoint from every
+// other's; roots are spread across live nodes round-robin (request 0 lands
+// on node 0, the one-shot path).
+func (c *Cluster) Submit(prog *lang.Program, fn string, args []expr.Value) (*Request, error) {
+	if prog == nil {
+		prog = c.prog
 	}
+	if prog == nil {
+		return nil, errors.New("livenet: program required")
+	}
+	if _, ok := prog.Func(fn); !ok {
+		return nil, fmt.Errorf("livenet: unknown function %q", fn)
+	}
+	c.reqMu.Lock()
+	id := c.nextReq
+	c.nextReq++
 	root := &packet{
-		stamp:      stamp.FromPath(0),
+		stamp:      stamp.FromPath(id),
 		fn:         fn,
 		args:       args,
 		parentNode: -1,
+		prog:       prog,
 	}
-	c.rootPkt = root
-	dest := 0
-	c.rootDest.Store(int64(dest))
+	r := &Request{id: id, resultCh: make(chan expr.Value, 1), rootPkt: root}
+	r.rootDest = c.pickLiveFrom(int(id) % len(c.nodes))
+	c.reqs[id] = r
+	dest := r.rootDest
+	c.reqMu.Unlock()
 	c.spawned.Add(1)
 	c.send(dest, msg{spawn: root})
+	return r, nil
+}
+
+// Start submits the root application of the build program; the single-
+// request compatibility entry point (Wait answers it).
+func (c *Cluster) Start(fn string, args []expr.Value) error {
+	r, err := c.Submit(c.prog, fn, args)
+	if err != nil {
+		return err
+	}
+	c.defReq = r
 	return nil
 }
 
@@ -204,23 +257,57 @@ func (c *Cluster) Kill(id int) error {
 			c.send(other.id, msg{nodeDown: id + 1})
 		}
 	}
-	// The cluster is the root's parent: reissue the root if it was there.
-	if c.rootPkt != nil && c.rootDest.Load() == int64(id) {
-		dest := c.pickLive(id)
-		c.rootDest.Store(int64(dest))
+	// The cluster is every root's parent: reissue each outstanding
+	// request's root that was placed on the dead node (§4.3.1).
+	c.reqMu.Lock()
+	for _, r := range c.reqs {
+		if r.done || r.rootDest != id {
+			continue
+		}
+		r.rootDest = c.pickLive(id)
 		c.reissued.Add(1)
-		c.send(dest, msg{spawn: c.rootPkt})
+		c.send(r.rootDest, msg{spawn: r.rootPkt})
 	}
+	c.reqMu.Unlock()
 	return nil
 }
 
-// Wait blocks until the program's answer arrives or the timeout elapses.
-func (c *Cluster) Wait(timeout time.Duration) (expr.Value, error) {
+// WaitRequest blocks until the request's answer arrives or the timeout
+// elapses.
+func (c *Cluster) WaitRequest(r *Request, timeout time.Duration) (expr.Value, error) {
 	select {
-	case v := <-c.resultCh:
+	case v := <-r.resultCh:
 		return v, nil
 	case <-time.After(timeout):
 		return nil, errors.New("livenet: timed out waiting for the answer")
+	}
+}
+
+// Wait blocks until Start's answer arrives or the timeout elapses.
+func (c *Cluster) Wait(timeout time.Duration) (expr.Value, error) {
+	if c.defReq == nil {
+		return nil, errors.New("livenet: Start was never called")
+	}
+	return c.WaitRequest(c.defReq, timeout)
+}
+
+// deliverRoot hands a super-root result to its request; answers for
+// already-answered (twin) or unknown roots drain harmlessly.
+func (c *Cluster) deliverRoot(root stamp.Stamp, v expr.Value) {
+	id := root.Component(0)
+	c.reqMu.Lock()
+	r := c.reqs[id]
+	if r != nil {
+		r.done = true
+	}
+	c.reqMu.Unlock()
+	if r == nil {
+		c.drained.Add(1)
+		return
+	}
+	select {
+	case r.resultCh <- v:
+	default: // a twin already answered; determinacy says it matches
 	}
 }
 
@@ -280,6 +367,17 @@ func (c *Cluster) pickLive(avoid int) int {
 	return 0
 }
 
+// pickLiveFrom scans from start for a live node (falls back to start).
+func (c *Cluster) pickLiveFrom(start int) int {
+	n := len(c.nodes)
+	for i := 0; i < n; i++ {
+		if d := (start + i) % n; c.nodes[d].alive.Load() {
+			return d
+		}
+	}
+	return start
+}
+
 // run is the node's goroutine loop: the live analogue of §4.2's protocol
 // loop ("LOOP CASE received packet OF ...").
 func (n *node) run() {
@@ -326,15 +424,24 @@ func (n *node) onSpawn(pkt *packet) {
 		children: map[int]*childCkpt{},
 	}
 	n.tasks[pkt.stamp] = append(n.tasks[pkt.stamp], t)
-	body, err := n.c.prog.Instantiate(pkt.fn, pkt.args)
+	prog := n.progOf(t)
+	body, err := prog.Instantiate(pkt.fn, pkt.args)
 	if err != nil {
 		panic(fmt.Sprintf("livenet: %v", err)) // validated programs cannot fail
 	}
-	out, err := lang.Flatten(n.c.prog, body, &t.nextID)
+	out, err := lang.Flatten(prog, body, &t.nextID)
 	if err != nil {
 		panic(fmt.Sprintf("livenet: %v", err))
 	}
 	n.apply(t, out)
+}
+
+// progOf resolves the program a task's packets run in.
+func (n *node) progOf(t *ltask) *lang.Program {
+	if t.pkt.prog != nil {
+		return t.pkt.prog
+	}
+	return n.c.prog
 }
 
 // apply handles a pass outcome: finish, or spawn the demands.
@@ -352,6 +459,7 @@ func (n *node) apply(t *ltask, out lang.Outcome) {
 			parentNode: n.id,
 			parentTask: t.pkt.stamp,
 			holeID:     d.ID,
+			prog:       t.pkt.prog,
 		}
 		dest := n.pickDest()
 		// Functional checkpoint: retain the packet and remember where it
@@ -378,10 +486,7 @@ func (n *node) finish(t *ltask, v expr.Value) {
 		n.tasks[t.pkt.stamp] = list
 	}
 	if t.pkt.parentNode < 0 {
-		select {
-		case n.c.resultCh <- v:
-		default: // a twin already answered; determinacy says it matches
-		}
+		n.c.deliverRoot(t.pkt.stamp, v)
 		return
 	}
 	n.c.send(t.pkt.parentNode, msg{result: &resultMsg{
@@ -417,7 +522,7 @@ func (n *node) onResult(r *resultMsg) {
 		}
 		fills := t.fills
 		t.fills = map[int]expr.Value{}
-		out, err := lang.Resume(n.c.prog, t.residual, fills, &t.nextID)
+		out, err := lang.Resume(n.progOf(t), t.residual, fills, &t.nextID)
 		if err != nil {
 			panic(fmt.Sprintf("livenet: %v", err))
 		}

@@ -1,0 +1,288 @@
+package livenet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/faults"
+	"repro/internal/proto"
+)
+
+// This file implements the core.SessionBackend capability on the live
+// backend: Open keeps the goroutine node network up across requests, Submit
+// enqueues root applications that the persistent nodes serve concurrently,
+// and Inject replays fault plans on the wall clock against the stream's
+// start — so kills land between and inside requests, the online-recovery
+// regime HEAL-style evaluations measure. The stream clock is wall
+// microseconds since Open; fault stamps, admission and completion stamps
+// all live on it.
+
+// liveParams is the validated shape of a core.Config on the live backend.
+type liveParams struct {
+	procs     int
+	seed      int64
+	scheme    string
+	timescale time.Duration
+	deadline  time.Duration
+}
+
+// prepare validates the config for the live substrate and fills defaults —
+// the checks Run has always applied, shared by the one-shot and session
+// paths so the two can never diverge.
+func (b Backend) prepare(cfg core.Config) (liveParams, error) {
+	p := liveParams{procs: cfg.Procs, seed: cfg.Seed, scheme: cfg.Recovery}
+	if p.procs == 0 {
+		p.procs = 8
+	}
+	if p.seed == 0 {
+		p.seed = 1
+	}
+	if p.scheme == "" {
+		p.scheme = "rollback"
+	}
+	if p.scheme != "rollback" && p.scheme != "none" {
+		return p, fmt.Errorf("livenet: recovery %q not supported on the live backend (rollback per-parent reissue, or none)", cfg.Recovery)
+	}
+	if cfg.Placement != "" && cfg.Placement != "random" {
+		return p, fmt.Errorf("livenet: placement %q not supported on the live backend (random only)", cfg.Placement)
+	}
+	// Reject the sim-only knobs that would change what a run measures if
+	// silently dropped. (Topology, AncestorDepth, Trace and ArrivalEvery are
+	// inert here — the channel interconnect is complete, per-parent reissue
+	// has no ancestor escalation to tune, there is no event log, and real
+	// time needs no synthetic arrival spacing — so they are documented as
+	// ignored rather than rejected.)
+	switch {
+	case len(cfg.Replication) > 0:
+		return p, errors.New("livenet: §5.3 task replication is not implemented on the live backend")
+	case cfg.DisableCheckpoints:
+		return p, errors.New("livenet: checkpoints cannot be disabled on the live backend (parents always retain child packets)")
+	case cfg.Raw != nil:
+		return p, errors.New("livenet: Config.Raw holds simulator machine knobs; the live backend takes none of them")
+	}
+	p.timescale = b.Timescale
+	if p.timescale <= 0 {
+		p.timescale = DefaultTimescale
+	}
+	p.deadline = b.Deadline
+	if p.deadline <= 0 {
+		p.deadline = DefaultDeadline
+	}
+	if cfg.Deadline > 0 {
+		p.deadline = time.Duration(cfg.Deadline) * p.timescale
+	}
+	return p, nil
+}
+
+// Open implements core.SessionBackend: bring the node network up and keep
+// it serving until Close.
+func (b Backend) Open(cfg core.Config) (core.Session, error) {
+	p, err := b.prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c, err := New(nil, p.procs, p.seed)
+	if err != nil {
+		return nil, err
+	}
+	if p.scheme == "none" {
+		c.DisableRecovery()
+	}
+	return &session{
+		p:      p,
+		c:      c,
+		start:  time.Now(),
+		stop:   make(chan struct{}),
+		killed: map[proto.ProcID]bool{},
+	}, nil
+}
+
+// session is one open live service stream.
+type session struct {
+	p     liveParams
+	c     *Cluster
+	start time.Time
+
+	mu       sync.Mutex
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	killed   map[proto.ProcID]bool
+	closed   bool
+	closeRep *core.Report
+}
+
+// Unit implements core.Session.
+func (s *session) Unit() core.TimeUnit { return core.WallMicros }
+
+// Submit implements core.Session: the request is admitted immediately —
+// real time is the live stream's arrival discipline. The mutex is held
+// across the closed check and the cluster submit so a concurrent Close can
+// never shut the node network down between the two (a spawn into a
+// shut-down cluster would silently never complete).
+func (s *session) Submit(w core.Workload) (core.SessionRequest, error) {
+	if w.Program == nil {
+		return nil, errors.New("livenet: program required")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("livenet: session closed")
+	}
+	r, err := s.c.Submit(w.Program, w.Fn, w.Args)
+	if err != nil {
+		return nil, err
+	}
+	return &liveRequest{s: s, r: r, arrived: time.Now()}, nil
+}
+
+// Inject implements core.Session: validate the plan (the live backend's
+// historical restrictions, plus a cumulative at-least-one-survivor check
+// across every injected plan) and replay it on the wall clock from the
+// stream's start. Returned stamps are the planned wall offsets in µs;
+// faults whose offset already passed fire immediately.
+func (s *session) Inject(plan *faults.Plan) ([]int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("livenet: session closed")
+	}
+	if plan == nil {
+		plan = faults.None()
+	}
+	if err := plan.Validate(s.p.procs); err != nil {
+		return nil, err
+	}
+	for _, f := range plan.Faults {
+		if f.Kind == faults.Corrupt {
+			return nil, fmt.Errorf("livenet: fault %v: value corruption needs §5.3 voting, which only the simulator implements", f)
+		}
+	}
+	union := map[proto.ProcID]bool{}
+	for q := range s.killed {
+		union[q] = true
+	}
+	for _, q := range plan.Procs() {
+		union[q] = true
+	}
+	if len(union) >= s.p.procs {
+		return nil, fmt.Errorf("livenet: plan kills %d of %d nodes; at least one must survive", len(union), s.p.procs)
+	}
+	s.killed = union
+	sorted := plan.Sorted()
+	stamps := make([]int64, 0, len(sorted))
+	for _, f := range sorted {
+		stamps = append(stamps, int64(time.Duration(f.At)*s.p.timescale/time.Microsecond))
+	}
+	// One scheduler goroutine per plan walks the time-sorted faults and
+	// kills each node at its wall-scaled instant relative to the stream
+	// start. Kills of already-dead nodes (overlapping merged plans) are
+	// ignored, like the simulator's post-death injections.
+	s.wg.Add(1)
+	go func(sorted []faults.Fault) {
+		defer s.wg.Done()
+		for _, f := range sorted {
+			if d := time.Duration(f.At)*s.p.timescale - time.Since(s.start); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-s.stop:
+					return
+				}
+			}
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			_ = s.c.Kill(int(f.Proc))
+		}
+	}(sorted)
+	return stamps, nil
+}
+
+// Close implements core.Session: stop the fault schedulers, shut the node
+// network down, and report the stream totals.
+func (s *session) Close() (*core.Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.closeRep, nil
+	}
+	s.closed = true
+	close(s.stop)
+	s.wg.Wait()
+	spawned, reissued, drained := s.c.Stats()
+	s.closeRep = &core.Report{
+		Backend:        "live",
+		Makespan:       time.Since(s.start).Microseconds(),
+		Unit:           core.WallMicros,
+		Messages:       s.c.Messages(),
+		Spawned:        spawned,
+		Reissued:       reissued,
+		Drained:        drained,
+		Recoveries:     reissued,
+		Procs:          s.p.procs,
+		Scheme:         s.p.scheme,
+		Placement:      "random",
+		ReissuesByNode: s.c.ReissuesByNode(),
+	}
+	s.c.Shutdown()
+	return s.closeRep, nil
+}
+
+// liveRequest implements core.SessionRequest.
+type liveRequest struct {
+	s       *session
+	r       *Request
+	arrived time.Time
+
+	once sync.Once
+	rep  *core.Report
+	err  error
+}
+
+// Wait implements core.SessionRequest: block for the answer up to the
+// per-request deadline, counted from the request's admission (the
+// documented Config.Deadline contract — so draining a wedged stream of N
+// requests costs one budget, not N). An answer already delivered is
+// accepted even after the budget; a timeout is not an error — the report
+// says Completed false and the stream keeps serving.
+func (lr *liveRequest) Wait() (*core.Report, error) {
+	lr.once.Do(func() {
+		s := lr.s
+		var v expr.Value
+		var waitErr error
+		if remaining := s.p.deadline - time.Since(lr.arrived); remaining > 0 {
+			v, waitErr = s.c.WaitRequest(lr.r, remaining)
+		} else {
+			select {
+			case v = <-lr.r.resultCh:
+			default:
+				waitErr = errors.New("livenet: request budget already spent")
+			}
+		}
+		done := time.Now()
+		rep := &core.Report{
+			Backend:   "live",
+			Request:   lr.r.ID(),
+			Unit:      core.WallMicros,
+			Procs:     s.p.procs,
+			Scheme:    s.p.scheme,
+			Placement: "random",
+			ArrivedAt: lr.arrived.Sub(s.start).Microseconds(),
+		}
+		if waitErr == nil {
+			rep.Completed = true
+			rep.Answer = v
+			rep.DoneAt = done.Sub(s.start).Microseconds()
+			rep.Makespan = rep.DoneAt - rep.ArrivedAt
+		} else {
+			rep.Makespan = done.Sub(s.start).Microseconds() - rep.ArrivedAt
+		}
+		lr.rep = rep
+	})
+	return lr.rep, lr.err
+}

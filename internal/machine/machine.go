@@ -2,7 +2,6 @@ package machine
 
 import (
 	"errors"
-	"fmt"
 
 	"repro/internal/expr"
 	"repro/internal/faults"
@@ -22,8 +21,16 @@ const noProc proto.ProcID = -3
 type Machine struct {
 	cfg    Config
 	kernel *sim.Kernel
-	prog   *lang.Program
-	n      int
+	// progs holds the loaded programs: progs[0] is the program the machine
+	// was built with; service mode (Session) loads one more per distinct
+	// submitted program. Task packets name their program by index (Prog).
+	progs []*lang.Program
+	n     int
+
+	// session, when non-nil, owns request bookkeeping: root completions are
+	// routed per-request instead of stopping the whole run. Run attaches one
+	// implicitly, so there is a single execution path.
+	session *Session
 
 	procs []*proc
 	host  *proc
@@ -125,7 +132,7 @@ func New(cfg Config, prog *lang.Program) (*Machine, error) {
 	m := &Machine{
 		cfg:         norm,
 		kernel:      sim.NewKernel(norm.Seed),
-		prog:        prog,
+		progs:       []*lang.Program{prog},
 		n:           norm.Topo.Size(),
 		tlog:        norm.Trace,
 		failTime:    map[proto.ProcID]sim.Time{},
@@ -141,6 +148,21 @@ func New(cfg Config, prog *lang.Program) (*Machine, error) {
 
 // Kernel exposes the event kernel (scenario tests schedule probes with it).
 func (m *Machine) Kernel() *sim.Kernel { return m.kernel }
+
+// progIndex interns a program and returns its index; progs[0] is the build
+// program, so one-shot packets keep the zero tag.
+func (m *Machine) progIndex(p *lang.Program) int {
+	for i, q := range m.progs {
+		if q == p {
+			return i
+		}
+	}
+	m.progs = append(m.progs, p)
+	return len(m.progs) - 1
+}
+
+// progOf resolves a packet's program tag.
+func (m *Machine) progOf(i int) *lang.Program { return m.progs[i] }
 
 // proc resolves a processor id, including the host. Unknown ids return nil.
 func (m *Machine) proc(id proto.ProcID) *proc {
@@ -253,6 +275,17 @@ func (m *Machine) hops(from, to proto.ProcID) int {
 	return m.cfg.Topo.Dist(nodeID(from), nodeID(to))
 }
 
+// completeRoot records a host-root task's answer: with a session attached
+// (always, since Run serves through one) completion is per-request; the
+// legacy single-root path is kept as a fallback for direct machine use.
+func (m *Machine) completeRoot(t *task, v expr.Value) {
+	if m.session != nil {
+		m.session.rootDone(t.pkt.Key, v)
+		return
+	}
+	m.complete(v)
+}
+
 // complete records the program's answer arriving at the super-root and
 // stops the run.
 func (m *Machine) complete(v expr.Value) {
@@ -276,67 +309,32 @@ func (m *Machine) failRun(err error) {
 }
 
 // Run evaluates fn(args) on the machine under the given fault plan and
-// returns the report. A machine instance runs once.
+// returns the report. A machine instance runs once. Run is the degenerate
+// service stream: it opens a Session, submits the one request, waits, and
+// finalizes — the exact event sequence the pre-session machine produced.
 func (m *Machine) Run(fn string, args []expr.Value, plan *faults.Plan) (*Report, error) {
-	if _, ok := m.prog.Func(fn); !ok {
-		return nil, fmt.Errorf("machine: entry function %q not in program", fn)
-	}
-	if plan == nil {
-		plan = faults.None()
-	}
-	if err := plan.Validate(m.n); err != nil {
+	s, err := m.Serve(ServeConfig{})
+	if err != nil {
 		return nil, err
 	}
-	// Schedule fault injections first so they dispatch before same-tick
-	// protocol events.
-	for _, f := range plan.Sorted() {
-		f := f
-		m.kernel.At(sim.Time(f.At), func() { m.inject(f) })
+	req, err := s.Submit(m.progs[0], fn, args)
+	if err != nil {
+		return nil, err
 	}
-	// Start periodic services with per-processor deterministic stagger.
-	for i, p := range m.procs {
-		p := p
-		if m.cfg.HeartbeatEvery > 0 {
-			m.kernel.At(m.cfg.HeartbeatEvery+sim.Time(i), p.heartbeatTick)
-		}
-		if m.cfg.LoadGossipEvery > 0 {
-			m.kernel.At(sim.Time(1+i%int(m.cfg.LoadGossipEvery)), p.gossipTick)
-		}
-		// Seed heartbeat liveness so nobody is declared dead before the
-		// first exchange.
-		for _, nb := range p.neighbors {
-			p.lastHeard[nb] = 0
-		}
+	if _, err := s.Inject(plan); err != nil {
+		return nil, err
 	}
-	if m.cfg.StateProbeEvery > 0 {
-		var probe func()
-		probe = func() {
-			m.stateSamples = append(m.stateSamples, m.sampleState())
-			m.kernel.After(m.cfg.StateProbeEvery, probe)
-		}
-		m.kernel.At(m.cfg.StateProbeEvery, probe)
-	}
-	// Install the host pseudo-task and demand the root application
-	// (the pre-evaluation checkpoint of §4.3.1: the super-root retains the
-	// root task packet).
-	hostPkt := &proto.TaskPacket{
-		Key:    proto.TaskKey{},
-		Fn:     fn,
-		Parent: proto.Addr{Proc: noProc},
-	}
-	hostTask := newTask(hostPkt)
-	hostTask.isHostRoot = true
-	hostTask.state = taskWaiting
-	hostTask.residual = expr.Hole{ID: 0}
-	hostTask.nextID = 1
-	m.host.tasks[hostPkt.Key] = hostTask
-	m.host.spawnDemand(hostTask, lang.Demand{ID: 0, Fn: fn, Args: args})
+	s.Wait(req)
+	return s.Finish(), nil
+}
 
-	// Drive the simulation to completion, deadline, or event budget.
-	m.kernel.RunUntil(m.cfg.Deadline, m.cfg.MaxEvents)
-	// Final accounting. Tasks still returning have finished their work and
-	// are merely awaiting result acknowledgements cut off by the stop; only
-	// tasks that never produced a value count as leaked.
+// finalReport closes the books on the machine: leak and checkpoint-storage
+// accounting, then the aggregate report. Tasks still returning have finished
+// their work and are merely awaiting result acknowledgements cut off by the
+// stop; only tasks that never produced a value count as leaked. In service
+// mode Answer/Makespan are those of the first completed request; per-request
+// stamps live on the session's Reqs.
+func (m *Machine) finalReport() *Report {
 	for _, p := range m.procs {
 		for _, t := range p.tasks {
 			if t.state != taskAborted && t.state != taskReturning {
@@ -368,7 +366,7 @@ func (m *Machine) Run(fn string, args []expr.Value, plan *faults.Plan) (*Report,
 		Events:       m.kernel.Processed(),
 		StateSamples: m.stateSamples,
 		StepsByProc:  stepsByProc,
-	}, nil
+	}
 }
 
 // sampleState sums resident task state across processors.

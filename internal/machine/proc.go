@@ -427,16 +427,17 @@ func (p *proc) runPass(t *task) {
 
 	var out lang.Outcome
 	var err error
+	prog := p.m.progOf(t.pkt.Prog)
 	if t.residual == nil {
 		var body expr.Expr
-		body, err = p.m.prog.Instantiate(t.pkt.Fn, t.pkt.Args)
+		body, err = prog.Instantiate(t.pkt.Fn, t.pkt.Args)
 		if err == nil {
-			out, err = lang.Flatten(p.m.prog, body, &t.nextID)
+			out, err = lang.Flatten(prog, body, &t.nextID)
 		}
 	} else {
 		fills := t.pendingFills
 		t.pendingFills = map[int]expr.Value{}
-		out, err = lang.Resume(p.m.prog, t.residual, fills, &t.nextID)
+		out, err = lang.Resume(prog, t.residual, fills, &t.nextID)
 	}
 	if err != nil {
 		p.m.failRun(fmt.Errorf("task %v on processor %d: %w", t.pkt.Key, p.id, err))
@@ -477,7 +478,7 @@ func (p *proc) finishPass(t *task, out lang.Outcome) {
 			p.m.log(p.id, trace.KComplete, t.pkt.Key.String(), v.String())
 		}
 		if t.isHostRoot {
-			p.m.complete(v)
+			p.m.completeRoot(t, v)
 			return
 		}
 		p.sendResult(t)
@@ -550,6 +551,7 @@ func (p *proc) spawnDemand(t *task, d lang.Demand) {
 			Parent:    proto.Addr{Proc: p.id, Task: t.pkt.Key},
 			HoleID:    d.ID,
 			Replicas:  reps,
+			Prog:      t.pkt.Prog,
 		}
 		pkt.Ancestors = ancestorChain(t.pkt, p.m.cfg.AncestorDepth)
 		cr := &childRef{key: pkt.Key, gen: pkt.Gen, dest: checkpoint.PendingDest}

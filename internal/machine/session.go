@@ -1,0 +1,331 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/faults"
+	"repro/internal/lang"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stamp"
+	"repro/internal/trace"
+)
+
+// Session is the machine's service mode: a long-lived run that multiplexes
+// several super-root requests on one event kernel. Each submitted request
+// installs its own host pseudo-task (the pre-evaluation checkpoint of
+// §4.3.1) with a distinct task key, so request trees never collide; the
+// processors, their placement and balance state, the failure-detection
+// bookkeeping and the fault history all persist between requests — exactly
+// what a machine that "keeps answering while processors die" needs.
+//
+// A Session is single-threaded like the machine itself: callers (the core
+// cluster adapter) serialize every method. Determinism is preserved because
+// requests are admitted in Submit order at deterministic arrival ticks and
+// every completion stamp is a kernel time.
+//
+// The one-shot Run is the degenerate session — one Submit, one Wait — and
+// produces the byte-identical event stream of the pre-session machine: the
+// first request reuses the zero host task key, buffered fault plans are
+// scheduled before the periodic services, and an admission at the current
+// tick installs directly instead of through a kernel event.
+type Session struct {
+	m   *Machine
+	cfg ServeConfig
+
+	started  bool
+	finished bool
+	final    *Report
+
+	pendPlans []*faults.Plan
+	pendReqs  []*Req
+
+	reqs  []*Req
+	byKey map[proto.TaskKey]*Req
+
+	outstanding int
+	lastArrival sim.Time
+	haveArrival bool
+}
+
+// ServeConfig parameterizes the service stream.
+type ServeConfig struct {
+	// ArrivalEvery spaces successive request admissions of one batch this
+	// many virtual ticks apart, turning a batch into a stream with faults
+	// landing between and inside requests. 0 admits the whole batch at the
+	// drive tick.
+	ArrivalEvery sim.Time
+}
+
+// Req is one submitted request: the session-side record of a super-root
+// evaluation. Fields are stamped by the kernel as the stream progresses.
+type Req struct {
+	id      int
+	fn      string
+	args    []expr.Value
+	prog    int
+	arrival sim.Time
+	done    bool
+	doneAt  sim.Time
+	answer  expr.Value
+}
+
+// ID is the request's stream index (0-based, admission order).
+func (r *Req) ID() int { return r.id }
+
+// Fn names the request's entry function.
+func (r *Req) Fn() string { return r.fn }
+
+// Arrival is the virtual tick the request was admitted at.
+func (r *Req) Arrival() sim.Time { return r.arrival }
+
+// Done reports whether the answer reached the super-root.
+func (r *Req) Done() bool { return r.done }
+
+// DoneAt is the completion stamp (valid when Done).
+func (r *Req) DoneAt() sim.Time { return r.doneAt }
+
+// Answer is the request's result (valid when Done).
+func (r *Req) Answer() expr.Value { return r.answer }
+
+// Serve attaches the service session to the machine. A machine serves (or
+// runs) exactly once.
+func (m *Machine) Serve(cfg ServeConfig) (*Session, error) {
+	if m.session != nil {
+		return nil, errors.New("machine: machine already serving (a machine instance runs once)")
+	}
+	s := &Session{m: m, cfg: cfg, byKey: map[proto.TaskKey]*Req{}}
+	m.session = s
+	return s, nil
+}
+
+// hostKey is the host pseudo-task key of request id. Request 0 reuses the
+// zero key of the one-shot machine; request i>0 roots its tree at stamp [i],
+// so no request's task stamps can collide with another's (request 0's tasks
+// all carry prefix [0], request i's the prefix [i]).
+func hostKey(id int) proto.TaskKey {
+	if id == 0 {
+		return proto.TaskKey{}
+	}
+	return proto.TaskKey{Stamp: stamp.FromPath(uint32(id))}
+}
+
+// Submit enqueues fn(args) from prog; the request is admitted at the next
+// drive. The program is interned machine-wide: distinct programs coexist,
+// with every task packet tagged by its request's program.
+func (s *Session) Submit(prog *lang.Program, fn string, args []expr.Value) (*Req, error) {
+	if s.finished {
+		return nil, errors.New("machine: session already finished")
+	}
+	if prog == nil {
+		return nil, errors.New("machine: program is required")
+	}
+	if _, ok := prog.Func(fn); !ok {
+		return nil, fmt.Errorf("machine: entry function %q not in program", fn)
+	}
+	r := &Req{id: len(s.reqs), fn: fn, args: args, prog: s.m.progIndex(prog)}
+	s.reqs = append(s.reqs, r)
+	s.pendReqs = append(s.pendReqs, r)
+	return r, nil
+}
+
+// Inject schedules the plan's faults on the stream clock: a fault at tick t
+// fires at stream tick t, or immediately if t already passed. Plans injected
+// before the first drive are buffered and scheduled ahead of the periodic
+// services, preserving the one-shot machine's same-tick dispatch order. It
+// returns the stream stamps the faults will fire at.
+func (s *Session) Inject(plan *faults.Plan) ([]int64, error) {
+	if plan == nil {
+		plan = faults.None()
+	}
+	if err := plan.Validate(s.m.n); err != nil {
+		return nil, err
+	}
+	sorted := plan.Sorted()
+	stamps := make([]int64, 0, len(sorted))
+	if !s.started {
+		s.pendPlans = append(s.pendPlans, plan)
+		for _, f := range sorted {
+			stamps = append(stamps, f.At)
+		}
+		return stamps, nil
+	}
+	now := s.m.kernel.Now()
+	for _, f := range sorted {
+		f := f
+		at := sim.Time(f.At)
+		if at < now {
+			at = now
+		}
+		stamps = append(stamps, int64(at))
+		s.m.kernel.At(at, func() { s.m.inject(f) })
+	}
+	return stamps, nil
+}
+
+// start schedules the buffered fault plans and then the periodic services —
+// fault injections first so they dispatch before same-tick protocol events,
+// exactly like the one-shot machine.
+func (s *Session) start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	m := s.m
+	for _, plan := range s.pendPlans {
+		for _, f := range plan.Sorted() {
+			f := f
+			m.kernel.At(sim.Time(f.At), func() { m.inject(f) })
+		}
+	}
+	s.pendPlans = nil
+	// Start periodic services with per-processor deterministic stagger.
+	for i, p := range m.procs {
+		p := p
+		if m.cfg.HeartbeatEvery > 0 {
+			m.kernel.At(m.cfg.HeartbeatEvery+sim.Time(i), p.heartbeatTick)
+		}
+		if m.cfg.LoadGossipEvery > 0 {
+			m.kernel.At(sim.Time(1+i%int(m.cfg.LoadGossipEvery)), p.gossipTick)
+		}
+		// Seed heartbeat liveness so nobody is declared dead before the
+		// first exchange.
+		for _, nb := range p.neighbors {
+			p.lastHeard[nb] = 0
+		}
+	}
+	if m.cfg.StateProbeEvery > 0 {
+		var probe func()
+		probe = func() {
+			m.stateSamples = append(m.stateSamples, m.sampleState())
+			m.kernel.After(m.cfg.StateProbeEvery, probe)
+		}
+		m.kernel.At(m.cfg.StateProbeEvery, probe)
+	}
+}
+
+// admit installs the pending requests: the first admission of a batch lands
+// at the current tick (installed directly, not through a kernel event — the
+// one-shot path), later ones ArrivalEvery apart via kernel events.
+func (s *Session) admit() {
+	m := s.m
+	for _, r := range s.pendReqs {
+		arr := m.kernel.Now()
+		if s.haveArrival && s.cfg.ArrivalEvery > 0 {
+			if next := s.lastArrival + s.cfg.ArrivalEvery; next > arr {
+				arr = next
+			}
+		}
+		s.lastArrival, s.haveArrival = arr, true
+		r.arrival = arr
+		s.outstanding++
+		s.byKey[hostKey(r.id)] = r
+		if arr == m.kernel.Now() {
+			s.install(r)
+		} else {
+			r := r
+			m.kernel.At(arr, func() { s.install(r) })
+		}
+	}
+	s.pendReqs = nil
+}
+
+// install creates the request's host pseudo-task and demands the root
+// application — the super-root retains the root task packet (§4.3.1).
+func (s *Session) install(r *Req) {
+	m := s.m
+	hostPkt := &proto.TaskPacket{
+		Key:    hostKey(r.id),
+		Fn:     r.fn,
+		Parent: proto.Addr{Proc: noProc},
+		Prog:   r.prog,
+	}
+	hostTask := newTask(hostPkt)
+	hostTask.isHostRoot = true
+	hostTask.state = taskWaiting
+	hostTask.residual = expr.Hole{ID: 0}
+	hostTask.nextID = 1
+	m.host.tasks[hostPkt.Key] = hostTask
+	m.host.spawnDemand(hostTask, lang.Demand{ID: 0, Fn: r.fn, Args: r.args})
+}
+
+// rootDone records a request's completion stamp and stops the kernel so any
+// driver waiting on it can observe the state; drivers waiting on other
+// requests simply resume. The machine-level done fields record the first
+// completion (the request itself, in a one-shot run).
+func (s *Session) rootDone(key proto.TaskKey, v expr.Value) {
+	r := s.byKey[key]
+	if r == nil || r.done {
+		return // late completion of an already-resolved incarnation
+	}
+	r.done = true
+	r.doneAt = s.m.kernel.Now()
+	r.answer = v
+	s.outstanding--
+	m := s.m
+	if !m.done {
+		m.done = true
+		m.answer = v
+		m.doneAt = r.doneAt
+	}
+	m.log(proto.HostID, trace.KRootDone, "", v.String())
+	m.kernel.Stop()
+}
+
+// Wait drives the kernel until r completes, errors, or exhausts its budget:
+// each request gets Config.Deadline virtual ticks from its arrival and
+// Config.MaxEvents dispatches per drive segment. On return r.Done reports
+// completion; a false value after Wait means the request timed out (the
+// stream itself continues — later submissions still run).
+func (s *Session) Wait(r *Req) {
+	m := s.m
+	s.start()
+	s.admit()
+	deadline := r.arrival + m.cfg.Deadline
+	for {
+		if r.done || m.runErr != nil || s.finished {
+			return
+		}
+		if m.kernel.Now() >= deadline {
+			return
+		}
+		if m.kernel.RunUntil(deadline, m.cfg.MaxEvents) != sim.RunStopped {
+			return // deadline, quiescent, or event budget: r did not make it
+		}
+		// Stopped: some request completed (possibly r) or the run failed;
+		// loop to re-check and resume the stream otherwise.
+	}
+}
+
+// Outstanding reports how many admitted requests have not completed.
+func (s *Session) Outstanding() int { return s.outstanding }
+
+// Now is the stream clock in virtual ticks.
+func (s *Session) Now() sim.Time { return s.m.kernel.Now() }
+
+// RunErr reports a program evaluation error, if one occurred; it poisons the
+// whole session (evaluation errors are deterministic program bugs).
+func (s *Session) RunErr() error { return s.m.runErr }
+
+// Procs is the processor count.
+func (s *Session) Procs() int { return s.m.n }
+
+// SchemeName and PlacementName echo the configuration for reports.
+func (s *Session) SchemeName() string { return s.m.cfg.Scheme.Name() }
+
+// PlacementName echoes the placement policy name.
+func (s *Session) PlacementName() string { return s.m.cfg.Placement.Name() }
+
+// Finish closes the stream and returns the machine's aggregate report —
+// the same accounting the one-shot Run performs. Idempotent; the session
+// rejects further submissions afterwards.
+func (s *Session) Finish() *Report {
+	if s.finished {
+		return s.final
+	}
+	s.finished = true
+	s.final = s.m.finalReport()
+	return s.final
+}

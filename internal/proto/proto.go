@@ -107,6 +107,16 @@ type TaskPacket struct {
 	// Replicas is the number of copies the parent spawned for this logical
 	// task (1 = not replicated). Used by the §5.3 voter.
 	Replicas int
+
+	// Prog selects which loaded program the packet's Fn resolves in: in
+	// service mode one machine multiplexes several request streams whose
+	// programs may define clashing function names, so every packet is tagged
+	// with its request's program index (children inherit their parent's).
+	// Program code is resident on every node of the machine — the tag names
+	// a code segment rather than shipping one — so it has no wire size and
+	// is not part of the packet codec. Zero is the machine's first-loaded
+	// program, which keeps one-shot runs unchanged.
+	Prog int
 }
 
 // EncodedSize is the packet's wire size in bytes: stamp, function name,

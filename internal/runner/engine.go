@@ -186,7 +186,13 @@ func (r *Registry) Run(exps []Experiment, opt Options) ([]*Result, error) {
 					errs[c.exp][0] = err
 					continue
 				}
-				tb, err := e.Table(seeds[c.seed])
+				var tb *experiments.Table
+				var err error
+				if e.TableOn != nil {
+					tb, err = e.TableOn(backend, seeds[c.seed])
+				} else {
+					tb, err = e.Table(seeds[c.seed])
+				}
 				results[c.exp].Tables[c.seed] = tb
 				errs[c.exp][c.seed] = err
 			}

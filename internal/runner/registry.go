@@ -1,6 +1,7 @@
 // Package runner is the experiment engine: a registry of reproduction
 // artifacts (figures F1–F7, tables T1–T7, ablations A1–A4, stress scenarios
-// S1–S3), a worker pool that fans (experiment × seed) cells out across
+// S1–S4, service/live artifacts L1–L3), a worker pool that fans
+// (experiment × seed) cells out across
 // goroutines, and a stats aggregator that folds per-seed tables into
 // mean/min/max summaries with effect-size classification. cmd/experiments,
 // the top-level benchmarks and the examples all resolve drivers here, so
@@ -47,8 +48,8 @@ func (k Kind) String() string {
 // MarshalJSON emits the kind name.
 func (k Kind) MarshalJSON() ([]byte, error) { return []byte(`"` + k.String() + `"`), nil }
 
-// Experiment is one registered artifact driver. Exactly one of Figure or
-// Table is set, matching Kind.
+// Experiment is one registered artifact driver. Figure artifacts set
+// Figure; table artifacts set exactly one of Table or TableOn.
 type Experiment struct {
 	// ID is the artifact name (canonically upper-case: "F1", "T3", "A2").
 	ID string
@@ -60,6 +61,12 @@ type Experiment struct {
 	Figure func() (string, error)
 	// Table runs the measurement at one seed.
 	Table func(seed int64) (*experiments.Table, error)
+	// TableOn runs a backend-aware measurement: the engine passes the
+	// selected backend, so one artifact can measure different substrates
+	// under one id (L3 measures the sim stream in committed documents and
+	// the live stream under -backend live). Declare every supported
+	// substrate in Backends.
+	TableOn func(backend string, seed int64) (*experiments.Table, error)
 	// Backends declares which core backends the driver needs (nil ⇒
 	// {"sim"}). An artifact only runs when the engine's selected backend is
 	// listed; otherwise it renders a deterministic skip note, so sim-only
@@ -111,11 +118,11 @@ func (r *Registry) Register(e Experiment) error {
 	if id == "" {
 		return fmt.Errorf("runner: experiment id required")
 	}
-	if e.Kind == KindFigure && (e.Figure == nil || e.Table != nil) {
+	if e.Kind == KindFigure && (e.Figure == nil || e.Table != nil || e.TableOn != nil) {
 		return fmt.Errorf("runner: %s: figure experiments need exactly the Figure driver", id)
 	}
-	if e.Kind == KindTable && (e.Table == nil || e.Figure != nil) {
-		return fmt.Errorf("runner: %s: table experiments need exactly the Table driver", id)
+	if e.Kind == KindTable && ((e.Table == nil) == (e.TableOn == nil) || e.Figure != nil) {
+		return fmt.Errorf("runner: %s: table experiments need exactly one of the Table or TableOn drivers", id)
 	}
 	e.ID = id
 	r.mu.Lock()
@@ -205,8 +212,8 @@ var (
 )
 
 // Default returns the registry of every artifact indexed in DESIGN.md plus
-// the stress scenarios S1–S3, with the canonical parameters the report
-// uses.
+// the stress scenarios S1–S4 and the live/service artifacts L1–L3, with
+// the canonical parameters the report uses.
 func Default() *Registry {
 	defaultOnce.Do(func() {
 		defaultReg = NewRegistry()
@@ -236,10 +243,14 @@ func Default() *Registry {
 				Table: func(seed int64) (*experiments.Table, error) { return experiments.S1TopologySweep("fib:13", seed) }},
 			{ID: "S2", Title: "Stress: rollback vs splice under cascading faults", Kind: KindTable, Table: experiments.S2CascadeRecovery},
 			{ID: "S3", Title: "Stress: fault density to the breaking point", Kind: KindTable, Table: experiments.S3FaultDensity},
+			{ID: "S4", Title: "Stress: skewed/random shapes, mesh vs torus under region+burst faults", Kind: KindTable,
+				Table: experiments.S4ShapeDiversity},
 			{ID: "L1", Title: "Live backend: sim-vs-live parity on the standard workloads", Kind: KindTable,
 				Backends: []string{"live"}, Table: experiments.L1Parity},
 			{ID: "L2", Title: "Live backend: burst-kill fault sweep on the goroutine cluster", Kind: KindTable,
 				Backends: []string{"live"}, Table: experiments.L2LiveFaultSweep},
+			{ID: "L3", Title: "Service mode: request-stream throughput with faults injected mid-stream", Kind: KindTable,
+				Backends: []string{"sim", "live"}, TableOn: experiments.L3StreamThroughput},
 		} {
 			defaultReg.MustRegister(e)
 		}

@@ -16,8 +16,8 @@ var cliIDs = []string{
 	"F1", "F2", "F5", "F6", "F7",
 	"T1", "T2", "T3", "T4", "T5", "T6", "T7",
 	"A1", "A2", "A3", "A4",
-	"S1", "S2", "S3",
-	"L1", "L2",
+	"S1", "S2", "S3", "S4",
+	"L1", "L2", "L3",
 }
 
 func TestDefaultRegistryResolvesEveryCLIID(t *testing.T) {
@@ -37,7 +37,7 @@ func TestDefaultRegistryResolvesEveryCLIID(t *testing.T) {
 					t.Fatalf("%s: figure driver missing", id)
 				}
 			case KindTable:
-				if e.Table == nil {
+				if e.Table == nil && e.TableOn == nil {
 					t.Fatalf("%s: table driver missing", id)
 				}
 			}
