@@ -318,6 +318,7 @@ func BenchmarkExperimentT1Table(b *testing.B) {
 
 func BenchmarkStressS1TopologySweep(b *testing.B) {
 	run := lookupTable(b, "S1")
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := run(1); err != nil {
 			b.Fatal(err)
@@ -357,11 +358,32 @@ func BenchmarkStressS4ShapeDiversity(b *testing.B) {
 // splice) on the simulator — the profile target for session-kernel work.
 func BenchmarkServiceL3Stream(b *testing.B) {
 	run := lookupTable(b, "L3")
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := run(1); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkKernelS1Mesh64 isolates the hottest S1 cell — one fault-free
+// fib:13 run on a 64-processor mesh under rollback checkpointing — without
+// the table scaffolding, so CPU/alloc profiles point straight at the
+// kernel, processor, and evaluator hot paths. This and BenchmarkServiceL3Stream
+// are the two profile targets the BENCH_4 wall-time gate watches.
+func BenchmarkKernelS1Mesh64(b *testing.B) {
+	w := mustWorkload(b, "fib:13")
+	cfg := core.Config{Procs: 64, Seed: 1, Recovery: "rollback", Topology: "mesh"}
+	var last *core.Report
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		last = runOnce(b, cfg, w, nil)
+		if !last.Completed {
+			b.Fatal("S1 mesh cell did not complete")
+		}
+	}
+	b.ReportMetric(float64(last.Makespan), "vticks")
+	b.ReportMetric(float64(last.Sim.Metrics.TotalMessages()), "msgs")
 }
 
 // BenchmarkCascade64Torus isolates the hot path S2 stresses: one cascade

@@ -16,6 +16,7 @@
 //	apsim -workload tree:4,6 -recovery rollback -fault 1@2000,5@6000s
 //	apsim -workload fib:12 -requests 32 -every 100 -fault 2@4000,5@6000
 //	apsim -workload fib:12 -requests 32 -backend live -fault 2@4000
+//	apsim -workload fib:13 -procs 64 -recovery rollback -cpuprofile cpu.out -memprofile mem.out
 //
 // Fault specs are PROC@TIME (announced crash), PROC@TIMEs (silent crash) or
 // PROC@TIMEc (value corruption from TIME on), comma-separated.
@@ -25,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -55,8 +58,25 @@ func main() {
 		deadline  = flag.Int64("deadline", 0, "virtual-time budget (0 = default); per-request in service mode")
 		requests  = flag.Int("requests", 0, "service mode: serve N copies of the workload through one open cluster (0 = one-shot)")
 		every     = flag.Int64("every", 0, "service mode: admit requests this many virtual ticks apart on the sim stream clock (0 = all at once)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (profile with `go tool pprof`)")
+		memProf   = flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuProfFile = f
+	}
+	memProfPath = *memProf
+	// fatal() also runs this, so profiles of failing runs — the ones most
+	// worth profiling — are still written out intact.
+	defer finishProfiles()
 
 	var w core.Workload
 	var err error
@@ -249,7 +269,39 @@ func parseArgs(spec string) ([]expr.Value, error) {
 	return out, nil
 }
 
+// Profile state shared with fatal(): os.Exit skips defers, so error exits
+// flush the profiles explicitly.
+var (
+	cpuProfFile *os.File
+	memProfPath string
+)
+
+// finishProfiles stops the CPU profile and writes the allocation profile.
+// Idempotent: both the normal defer and fatal() call it.
+func finishProfiles() {
+	if cpuProfFile != nil {
+		pprof.StopCPUProfile()
+		cpuProfFile.Close()
+		cpuProfFile = nil
+	}
+	if memProfPath != "" {
+		path := memProfPath
+		memProfPath = ""
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apsim:", err)
+			return
+		}
+		runtime.GC() // settle live heap so the profile reflects retained state
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "apsim:", err)
+		}
+		f.Close()
+	}
+}
+
 func fatal(err error) {
+	finishProfiles()
 	fmt.Fprintln(os.Stderr, "apsim:", err)
 	os.Exit(1)
 }

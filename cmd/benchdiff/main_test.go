@@ -118,13 +118,15 @@ func TestTracked(t *testing.T) {
 			t.Errorf("tracked(%q) = %q,%v want %q", col, got, ok, want)
 		}
 	}
-	// Wall-clock classes inform but never gate.
-	for class, want := range map[string]bool{
-		"vticks": true, "messages": true, "live-messages": true,
-		"wall-µs": false, "live-wall-µs": false,
+	// Virtual classes hard-gate at -threshold, wall-clock classes gate at
+	// the wider -wall-ceiling, stream aggregates never gate.
+	for class, want := range map[string]gateKind{
+		"vticks": gateHard, "messages": gateHard, "live-messages": gateHard,
+		"wall-µs": gateWall, "live-wall-µs": gateWall,
+		"latency": gateInfo, "throughput": gateInfo, "live-latency": gateInfo,
 	} {
-		if gated(class) != want {
-			t.Errorf("gated(%q) = %v, want %v", class, gated(class), want)
+		if gateOf(class) != want {
+			t.Errorf("gateOf(%q) = %v, want %v", class, gateOf(class), want)
 		}
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/runner"
 )
 
@@ -51,10 +52,15 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit JSON (per-seed tables plus aggregates) instead of markdown")
 		asDoc    = flag.Bool("markdown", false, "emit the self-contained EXPERIMENTS.md document (header + contents + artifacts)")
 		list     = flag.Bool("list", false, "list the registered artifacts and exit")
+		bench    = flag.Int("bench", 0, "with -json: append the B1 wall-time artifact, timing each profile target this many reps (nondeterministic; for BENCH_N.json snapshots, never for EXPERIMENTS.md)")
 	)
 	flag.Parse()
 	if *asJSON && *asDoc {
 		fmt.Fprintln(os.Stderr, "experiments: -json and -markdown are mutually exclusive")
+		os.Exit(2)
+	}
+	if *bench > 0 && !*asJSON {
+		fmt.Fprintln(os.Stderr, "experiments: -bench requires -json (wall times are nondeterministic and must stay out of committed documents)")
 		os.Exit(2)
 	}
 	expSet := false
@@ -92,6 +98,17 @@ func main() {
 	}
 	// A per-artifact failure still renders everything that succeeded (the
 	// failed artifacts carry their error inline) before exiting non-zero.
+	if *bench > 0 {
+		tb, err := experiments.B1WallTime(*bench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		results = append(results, &runner.Result{
+			ID: tb.ID, Title: tb.Title, Kind: runner.KindTable,
+			Tables: []*experiments.Table{tb},
+		})
+	}
 	switch {
 	case *asJSON:
 		out, err := runner.RenderJSON(results)

@@ -97,17 +97,28 @@ func (*Random) Mode() Mode   { return Direct }
 
 func (*Random) PickDest(v View, _ proto.TaskKey) proto.ProcID {
 	n := v.Size()
-	// Collect live candidates deterministically.
-	live := make([]proto.ProcID, 0, n)
+	// Count live candidates, draw one uniformly, then walk to it: one Intn
+	// over the live count, exactly the draw the slice-collecting version
+	// made, without materializing the candidate list.
+	live := 0
 	for i := 0; i < n; i++ {
-		if p := proto.ProcID(i); !v.IsFaulty(p) {
-			live = append(live, p)
+		if !v.IsFaulty(proto.ProcID(i)) {
+			live++
 		}
 	}
-	if len(live) == 0 {
+	if live == 0 {
 		return v.Self()
 	}
-	return live[v.Rand().Intn(len(live))]
+	k := v.Rand().Intn(live)
+	for i := 0; i < n; i++ {
+		if p := proto.ProcID(i); !v.IsFaulty(p) {
+			if k == 0 {
+				return p
+			}
+			k--
+		}
+	}
+	return v.Self()
 }
 
 func (r *Random) Step(v View, _ int) proto.ProcID { return r.PickDest(v, proto.TaskKey{}) }

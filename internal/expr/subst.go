@@ -6,45 +6,55 @@ package expr
 // first-order language: function bodies are closed except for parameters,
 // and parameters are substituted before a body ever mixes with caller
 // expressions.
+//
+// Expressions are immutable, so unchanged subtrees are returned as-is
+// rather than rebuilt; the changed flag threaded through the helpers below
+// is what makes that sharing exact (a node is copied iff some descendant
+// actually changed).
 func Subst(e Expr, name string, v Value) Expr {
+	out, _ := subst(e, name, v)
+	return out
+}
+
+func subst(e Expr, name string, v Value) (Expr, bool) {
 	switch n := e.(type) {
 	case Lit, Hole:
-		return e
+		return e, false
 	case Var:
 		if n.Name == name {
-			return Lit{v}
+			return Lit{v}, true
 		}
-		return e
+		return e, false
 	case Prim:
 		args, changed := substSlice(n.Args, name, v)
 		if !changed {
-			return e
+			return e, false
 		}
-		return Prim{Op: n.Op, Args: args}
+		return Prim{Op: n.Op, Args: args}, true
 	case If:
-		c := Subst(n.Cond, name, v)
-		t := Subst(n.Then, name, v)
-		f := Subst(n.Else, name, v)
-		if same(c, n.Cond) && same(t, n.Then) && same(f, n.Else) {
-			return e
+		c, cc := subst(n.Cond, name, v)
+		t, tc := subst(n.Then, name, v)
+		f, fc := subst(n.Else, name, v)
+		if !cc && !tc && !fc {
+			return e, false
 		}
-		return If{Cond: c, Then: t, Else: f}
+		return If{Cond: c, Then: t, Else: f}, true
 	case Let:
-		bind := Subst(n.Bind, name, v)
-		body := n.Body
+		bind, bc := subst(n.Bind, name, v)
+		body, yc := n.Body, false
 		if n.Name != name { // shadowed otherwise
-			body = Subst(n.Body, name, v)
+			body, yc = subst(n.Body, name, v)
 		}
-		if same(bind, n.Bind) && same(body, n.Body) {
-			return e
+		if !bc && !yc {
+			return e, false
 		}
-		return Let{Name: n.Name, Bind: bind, Body: body}
+		return Let{Name: n.Name, Bind: bind, Body: body}, true
 	case Apply:
 		args, changed := substSlice(n.Args, name, v)
 		if !changed {
-			return e
+			return e, false
 		}
-		return Apply{Fn: n.Fn, Args: args}
+		return Apply{Fn: n.Fn, Args: args}, true
 	default:
 		panic("expr: unknown node in Subst")
 	}
@@ -59,47 +69,145 @@ func SubstAll(e Expr, env map[string]Value) Expr {
 	return e
 }
 
+// SubstMany replaces free occurrences of names[i] with vals[i] in one tree
+// walk. Because substituted values are closed literals, the result is
+// identical to applying Subst once per name in any order — this is the
+// instantiation fast path (one walk per application instead of one per
+// parameter). At most 64 names are supported (shadowing is tracked in a
+// bitmask); longer lists fall back to sequential Subst.
+func SubstMany(e Expr, names []string, vals []Value) Expr {
+	if len(names) == 0 {
+		return e
+	}
+	if len(names) == 1 {
+		return Subst(e, names[0], vals[0])
+	}
+	if len(names) > 64 {
+		for i, name := range names {
+			e = Subst(e, name, vals[i])
+		}
+		return e
+	}
+	out, _ := substMany(e, names, vals, 0)
+	return out
+}
+
+// substMany is the recursive worker; shadow has bit i set when names[i] is
+// let-bound in the current scope and must not be substituted.
+func substMany(e Expr, names []string, vals []Value, shadow uint64) (Expr, bool) {
+	switch n := e.(type) {
+	case Lit, Hole:
+		return e, false
+	case Var:
+		for i, name := range names {
+			if shadow&(1<<uint(i)) == 0 && n.Name == name {
+				return Lit{vals[i]}, true
+			}
+		}
+		return e, false
+	case Prim:
+		args, changed := substManySlice(n.Args, names, vals, shadow)
+		if !changed {
+			return e, false
+		}
+		return Prim{Op: n.Op, Args: args}, true
+	case If:
+		c, cc := substMany(n.Cond, names, vals, shadow)
+		t, tc := substMany(n.Then, names, vals, shadow)
+		f, fc := substMany(n.Else, names, vals, shadow)
+		if !cc && !tc && !fc {
+			return e, false
+		}
+		return If{Cond: c, Then: t, Else: f}, true
+	case Let:
+		bind, bc := substMany(n.Bind, names, vals, shadow)
+		bodyShadow := shadow
+		for i, name := range names {
+			if n.Name == name {
+				bodyShadow |= 1 << uint(i)
+			}
+		}
+		body, yc := substMany(n.Body, names, vals, bodyShadow)
+		if !bc && !yc {
+			return e, false
+		}
+		return Let{Name: n.Name, Bind: bind, Body: body}, true
+	case Apply:
+		args, changed := substManySlice(n.Args, names, vals, shadow)
+		if !changed {
+			return e, false
+		}
+		return Apply{Fn: n.Fn, Args: args}, true
+	default:
+		panic("expr: unknown node in SubstMany")
+	}
+}
+
+func substManySlice(in []Expr, names []string, vals []Value, shadow uint64) ([]Expr, bool) {
+	var out []Expr
+	for i, a := range in {
+		b, changed := substMany(a, names, vals, shadow)
+		if changed && out == nil {
+			out = make([]Expr, len(in))
+			copy(out, in[:i])
+		}
+		if out != nil {
+			out[i] = b
+		}
+	}
+	if out == nil {
+		return in, false
+	}
+	return out, true
+}
+
 // FillHoles replaces each Hole whose ID appears in fills with the
-// corresponding literal value. Holes without a binding remain.
+// corresponding literal value. Holes without a binding remain. Like Subst,
+// untouched subtrees are shared, not copied.
 func FillHoles(e Expr, fills map[int]Value) Expr {
 	if len(fills) == 0 {
 		return e
 	}
+	out, _ := fillHoles(e, fills)
+	return out
+}
+
+func fillHoles(e Expr, fills map[int]Value) (Expr, bool) {
 	switch n := e.(type) {
 	case Lit, Var:
-		return e
+		return e, false
 	case Hole:
 		if v, ok := fills[n.ID]; ok {
-			return Lit{v}
+			return Lit{v}, true
 		}
-		return e
+		return e, false
 	case Prim:
 		args, changed := fillSlice(n.Args, fills)
 		if !changed {
-			return e
+			return e, false
 		}
-		return Prim{Op: n.Op, Args: args}
+		return Prim{Op: n.Op, Args: args}, true
 	case If:
-		c := FillHoles(n.Cond, fills)
-		t := FillHoles(n.Then, fills)
-		f := FillHoles(n.Else, fills)
-		if same(c, n.Cond) && same(t, n.Then) && same(f, n.Else) {
-			return e
+		c, cc := fillHoles(n.Cond, fills)
+		t, tc := fillHoles(n.Then, fills)
+		f, fc := fillHoles(n.Else, fills)
+		if !cc && !tc && !fc {
+			return e, false
 		}
-		return If{Cond: c, Then: t, Else: f}
+		return If{Cond: c, Then: t, Else: f}, true
 	case Let:
-		bind := FillHoles(n.Bind, fills)
-		body := FillHoles(n.Body, fills)
-		if same(bind, n.Bind) && same(body, n.Body) {
-			return e
+		bind, bc := fillHoles(n.Bind, fills)
+		body, yc := fillHoles(n.Body, fills)
+		if !bc && !yc {
+			return e, false
 		}
-		return Let{Name: n.Name, Bind: bind, Body: body}
+		return Let{Name: n.Name, Bind: bind, Body: body}, true
 	case Apply:
 		args, changed := fillSlice(n.Args, fills)
 		if !changed {
-			return e
+			return e, false
 		}
-		return Apply{Fn: n.Fn, Args: args}
+		return Apply{Fn: n.Fn, Args: args}, true
 	default:
 		panic("expr: unknown node in FillHoles")
 	}
@@ -108,8 +216,8 @@ func FillHoles(e Expr, fills map[int]Value) Expr {
 func substSlice(in []Expr, name string, v Value) ([]Expr, bool) {
 	var out []Expr
 	for i, a := range in {
-		b := Subst(a, name, v)
-		if !same(a, b) && out == nil {
+		b, changed := subst(a, name, v)
+		if changed && out == nil {
 			out = make([]Expr, len(in))
 			copy(out, in[:i])
 		}
@@ -126,8 +234,8 @@ func substSlice(in []Expr, name string, v Value) ([]Expr, bool) {
 func fillSlice(in []Expr, fills map[int]Value) ([]Expr, bool) {
 	var out []Expr
 	for i, a := range in {
-		b := FillHoles(a, fills)
-		if !same(a, b) && out == nil {
+		b, changed := fillHoles(a, fills)
+		if changed && out == nil {
 			out = make([]Expr, len(in))
 			copy(out, in[:i])
 		}
@@ -139,24 +247,4 @@ func fillSlice(in []Expr, fills map[int]Value) ([]Expr, bool) {
 		return in, false
 	}
 	return out, true
-}
-
-// same reports whether two Exprs are the identical node. Comparing
-// interfaces with == would panic on non-comparable underlying types (Prim
-// holds a slice), so compare only when both sides are comparable leaf nodes;
-// otherwise rely on the substitution functions returning the original
-// interface value unchanged, which we detect with a cheap shape check.
-func same(a, b Expr) bool {
-	switch a.(type) {
-	case Lit, Var, Hole:
-		switch b.(type) {
-		case Lit, Var, Hole:
-			return a == b
-		}
-		return false
-	}
-	// For composite nodes the rewriters return the original value when
-	// nothing changed; detect that via pointer-free structural identity of
-	// the cheap kind: only trust the changed flags computed by callers.
-	return false
 }

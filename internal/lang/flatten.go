@@ -52,7 +52,7 @@ type flattener struct {
 // generating new demands.
 func Flatten(prog *Program, e expr.Expr, nextID *int) (Outcome, error) {
 	f := &flattener{prog: prog, nextID: nextID}
-	red, err := f.reduce(e)
+	red, _, err := f.reduce(e)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -63,103 +63,136 @@ func Flatten(prog *Program, e expr.Expr, nextID *int) (Outcome, error) {
 }
 
 // reduce returns a reduced expression: either a Lit or a blocked expression
-// containing holes. Every invocation accounts one step.
-func (f *flattener) reduce(e expr.Expr) (expr.Expr, error) {
+// containing holes. Every invocation accounts one step. Expressions are
+// immutable, so reduce shares unchanged subtrees instead of rebuilding them
+// (the hot resume passes re-walk residuals in which most nodes are already
+// irreducible); the changed flag reports whether the result differs from e,
+// so parents can share too. Allocation happens only where reduction makes
+// progress.
+func (f *flattener) reduce(e expr.Expr) (expr.Expr, bool, error) {
 	f.steps++
 	switch n := e.(type) {
 	case expr.Lit:
-		return n, nil
+		return n, false, nil
 	case expr.Hole:
-		return n, nil
+		return n, false, nil
 	case expr.Var:
 		// Instantiate substitutes parameters and Let substitutes bindings
 		// before their bodies are reduced, so a Var here is a bug in the
 		// program or the interpreter.
-		return nil, fmt.Errorf("%w: unbound variable %q at reduction time", ErrEval, n.Name)
+		return nil, false, fmt.Errorf("%w: unbound variable %q at reduction time", ErrEval, n.Name)
 	case expr.Prim:
-		args := make([]expr.Expr, len(n.Args))
-		vals := make([]expr.Value, len(n.Args))
-		blocked := false
-		for i, a := range n.Args {
-			r, err := f.reduce(a)
-			if err != nil {
-				return nil, err
-			}
-			args[i] = r
-			if lit, ok := r.(expr.Lit); ok {
-				vals[i] = lit.V
-			} else {
-				blocked = true
-			}
+		args, argsChanged, blocked, err := f.reduceArgs(n.Args)
+		if err != nil {
+			return nil, false, err
 		}
 		if blocked {
-			return expr.Prim{Op: n.Op, Args: args}, nil
+			if !argsChanged {
+				return e, false, nil // nothing reduced: share the node
+			}
+			return expr.Prim{Op: n.Op, Args: args}, true, nil
+		}
+		vals := make([]expr.Value, len(args))
+		for i, a := range args {
+			vals[i] = a.(expr.Lit).V
 		}
 		v, err := applyPrim(n.Op, vals)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return expr.Lit{V: v}, nil
+		return expr.Lit{V: v}, true, nil
 	case expr.If:
-		c, err := f.reduce(n.Cond)
+		c, cc, err := f.reduce(n.Cond)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		lit, ok := c.(expr.Lit)
 		if !ok {
 			// Condition blocked: branches stay unreduced (non-strict) until
 			// the condition value arrives.
-			return expr.If{Cond: c, Then: n.Then, Else: n.Else}, nil
+			if !cc {
+				return e, false, nil
+			}
+			return expr.If{Cond: c, Then: n.Then, Else: n.Else}, true, nil
 		}
 		b, ok := lit.V.(expr.VBool)
 		if !ok {
-			return nil, fmt.Errorf("%w: if condition is %s, not bool", ErrEval, expr.TypeName(lit.V))
+			return nil, false, fmt.Errorf("%w: if condition is %s, not bool", ErrEval, expr.TypeName(lit.V))
 		}
+		// Committing to a branch always changes the node.
+		var r expr.Expr
 		if b {
-			return f.reduce(n.Then)
+			r, _, err = f.reduce(n.Then)
+		} else {
+			r, _, err = f.reduce(n.Else)
 		}
-		return f.reduce(n.Else)
+		return r, true, err
 	case expr.Let:
-		bind, err := f.reduce(n.Bind)
+		bind, bc, err := f.reduce(n.Bind)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if lit, ok := bind.(expr.Lit); ok {
-			return f.reduce(expr.Subst(n.Body, n.Name, lit.V))
+			r, _, err := f.reduce(expr.Subst(n.Body, n.Name, lit.V))
+			return r, true, err
 		}
 		// Bind blocked: keep the body unreduced behind the binder.
-		return expr.Let{Name: n.Name, Bind: bind, Body: n.Body}, nil
+		if !bc {
+			return e, false, nil
+		}
+		return expr.Let{Name: n.Name, Bind: bind, Body: n.Body}, true, nil
 	case expr.Apply:
-		args := make([]expr.Expr, len(n.Args))
-		vals := make([]expr.Value, len(n.Args))
-		blocked := false
-		for i, a := range n.Args {
-			r, err := f.reduce(a)
-			if err != nil {
-				return nil, err
-			}
-			args[i] = r
-			if lit, ok := r.(expr.Lit); ok {
-				vals[i] = lit.V
-			} else {
-				blocked = true
-			}
+		args, argsChanged, blocked, err := f.reduceArgs(n.Args)
+		if err != nil {
+			return nil, false, err
 		}
 		if blocked {
 			// Arguments themselves contain demands or unfilled holes; the
 			// application waits for them before becoming a demand itself.
-			return expr.Apply{Fn: n.Fn, Args: args}, nil
+			if !argsChanged {
+				return e, false, nil
+			}
+			return expr.Apply{Fn: n.Fn, Args: args}, true, nil
 		}
 		// All arguments are values: this application becomes a child task.
 		// DEMAND_IT (§4.2): create a task packet, level-stamp it, checkpoint
 		// it — the machine does the last three; we record the demand.
+		vals := make([]expr.Value, len(args))
+		for i, a := range args {
+			vals[i] = a.(expr.Lit).V
+		}
 		id := *f.nextID
 		*f.nextID = id + 1
 		f.demands = append(f.demands, Demand{ID: id, Fn: n.Fn, Args: vals})
-		return expr.Hole{ID: id}, nil
+		return expr.Hole{ID: id}, true, nil
 	default:
-		return nil, fmt.Errorf("%w: unknown node %T", ErrEval, e)
+		return nil, false, fmt.Errorf("%w: unknown node %T", ErrEval, e)
 	}
+}
+
+// reduceArgs reduces an argument list copy-on-write: the input slice is
+// returned untouched (changed=false) when no argument made progress, and
+// blocked reports whether any reduced argument is still not a literal.
+func (f *flattener) reduceArgs(in []expr.Expr) (out []expr.Expr, changed, blocked bool, err error) {
+	out = in
+	for i, a := range in {
+		r, rc, err := f.reduce(a)
+		if err != nil {
+			return nil, false, false, err
+		}
+		if rc && !changed {
+			fresh := make([]expr.Expr, len(in))
+			copy(fresh, in[:i])
+			out, changed = fresh, true
+		}
+		if changed {
+			out[i] = r
+		}
+		if _, ok := r.(expr.Lit); !ok {
+			blocked = true
+		}
+	}
+	return out, changed, blocked, nil
 }
 
 // Resume fills holes in a residual expression and flattens again. It is the

@@ -162,9 +162,5 @@ func (p *Program) Instantiate(fn string, args []expr.Value) (expr.Expr, error) {
 	if len(args) != len(d.Params) {
 		return nil, fmt.Errorf("%w: %q expects %d args, got %d", ErrEval, fn, len(d.Params), len(args))
 	}
-	body := d.Body
-	for i, param := range d.Params {
-		body = expr.Subst(body, param, args[i])
-	}
-	return body, nil
+	return expr.SubstMany(d.Body, d.Params, args), nil
 }

@@ -1,0 +1,110 @@
+package machine
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/faults"
+	"repro/internal/lang"
+	"repro/internal/recovery"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_traces.txt from the current kernel")
+
+// goldenCells are seeded runs whose full event traces are pinned: the S1
+// mesh cell at 64 processors (the profile target) fault-free and under a
+// mid-run burst, plus a splice cell so twin/relay/prefill events are
+// covered. Every hot-path optimisation must leave these traces — event for
+// event, note for note — byte-identical; the committed fingerprints were
+// produced by the pre-optimisation kernel.
+var goldenCells = []struct {
+	name   string
+	scheme string
+	crash  int // processors killed at 2/5 of the fault-free makespan (0 = none)
+}{
+	{"s1-mesh64-rollback-faultfree", "rollback", 0},
+	{"s1-mesh64-rollback-burst3", "rollback", 3},
+	{"s1-mesh64-splice-burst3", "splice", 3},
+}
+
+// goldenRun executes one golden cell with tracing and returns its
+// fingerprint line: FNV-64a over every event string, plus the headline
+// counters that would move first if determinism broke.
+func goldenRun(t *testing.T, scheme string, crash int) string {
+	t.Helper()
+	topo, err := topology.ByName("mesh", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := recovery.ByName(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, fn, args := lang.Fib(), "fib", []expr.Value{expr.VInt(13)}
+	run := func(plan *faults.Plan, tl *trace.Log) *Report {
+		m, err := New(Config{Topo: topo, Scheme: sch, Seed: 1, Trace: tl}, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := m.Run(fn, args, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	plan := faults.None()
+	if crash > 0 {
+		base := run(nil, nil)
+		if !base.Completed {
+			t.Fatal("golden base run incomplete")
+		}
+		plan = faults.Burst(64, crash, int64(base.Makespan)*2/5, faults.CrashAnnounced, 1)
+	}
+	tl := trace.NewLog(0)
+	rep := run(plan, tl)
+	h := fnv.New64a()
+	for _, ev := range tl.Events {
+		fmt.Fprintln(h, ev.String())
+	}
+	return fmt.Sprintf("hash=%016x events=%d kernel_events=%d makespan=%d messages=%d completed=%v",
+		h.Sum64(), len(tl.Events), rep.Events, rep.Makespan,
+		rep.Metrics.TotalMessages(), rep.Completed)
+}
+
+// TestGoldenEventTraces pins the optimised kernel's event sequence to the
+// pre-optimisation kernel's, byte for byte: any reordering of kernel
+// events, renumbering of sequence tie-breaks, or drift in a counter shows
+// up as a fingerprint mismatch. Regenerate deliberately with
+// `go test ./internal/machine -run Golden -update` and justify the diff.
+func TestGoldenEventTraces(t *testing.T) {
+	path := filepath.Join("testdata", "golden_traces.txt")
+	var got strings.Builder
+	for _, c := range goldenCells {
+		fmt.Fprintf(&got, "%s %s\n", c.name, goldenRun(t, c.scheme, c.crash))
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	if got.String() != string(want) {
+		t.Errorf("golden trace fingerprints diverged from the pre-optimisation kernel:\n got:\n%s want:\n%s", got.String(), want)
+	}
+}

@@ -1,0 +1,92 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/faults"
+	"repro/internal/lang"
+	"repro/internal/proto"
+	"repro/internal/recovery"
+	"repro/internal/topology"
+)
+
+// runPair runs fib:12 on 6 processors under the given scheme with the two
+// processors killed simultaneously at the given tick.
+func runPair(t *testing.T, scheme string, a, b proto.ProcID, at int64) *Report {
+	t.Helper()
+	topo, err := topology.ByName("mesh", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := recovery.ByName(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{Topo: topo, Scheme: sch, Seed: 1}, lang.Fib())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.None().
+		Add(faults.Fault{At: at, Proc: a, Kind: faults.CrashAnnounced}).
+		Add(faults.Fault{At: at, Proc: b, Kind: faults.CrashAnnounced})
+	rep, err := m.Run("fib", []expr.Value{expr.VInt(12)}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestSimultaneousKillWithConsoleRelay is the regression test for the
+// ancestor-chain-loss wedge: killing processor 0 (the host's announcement
+// relay) simultaneously with the processor holding the root task used to
+// leave the host deaf — it never learned its checkpointed root task died,
+// nobody reissued it, and the run stranded until the deadline. With console
+// duty inherited by the next live processor, every simultaneous pair must
+// recover. The sweep covers every pair that includes processor 0, under
+// both recovery schemes.
+func TestSimultaneousKillWithConsoleRelay(t *testing.T) {
+	for _, scheme := range []string{"rollback", "splice"} {
+		for b := proto.ProcID(1); b < 6; b++ {
+			for _, at := range []int64{200, 500, 900} {
+				rep := runPair(t, scheme, 0, b, at)
+				if !rep.Completed {
+					t.Errorf("%s kill {0,%d} at t=%d: stranded (makespan %d, %d stranded orphans)",
+						scheme, b, at, rep.Makespan, rep.Metrics.Stranded)
+					continue
+				}
+				if rep.Answer == nil || !rep.Answer.Equal(expr.VInt(144)) {
+					t.Errorf("%s kill {0,%d} at t=%d: wrong answer %v", scheme, b, at, rep.Answer)
+				}
+			}
+		}
+	}
+}
+
+// TestConsoleDutyInheritance exercises the relay chain two deep: kill the
+// root-task holder plus processors 0 AND 1 at once, so console duty must
+// pass over two dead processors before an announcement reaches the host.
+func TestConsoleDutyInheritance(t *testing.T) {
+	topo, err := topology.ByName("mesh", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{Topo: topo, Scheme: recovery.Rollback(), Seed: 1}, lang.Fib())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.None().
+		Add(faults.Fault{At: 400, Proc: 0, Kind: faults.CrashAnnounced}).
+		Add(faults.Fault{At: 400, Proc: 1, Kind: faults.CrashAnnounced}).
+		Add(faults.Fault{At: 400, Proc: 5, Kind: faults.CrashAnnounced})
+	rep, err := m.Run("fib", []expr.Value{expr.VInt(12)}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatalf("triple kill {0,1,5} stranded: makespan %d", rep.Makespan)
+	}
+	if !rep.Answer.Equal(expr.VInt(144)) {
+		t.Fatalf("wrong answer %v", rep.Answer)
+	}
+}

@@ -27,6 +27,12 @@ type Machine struct {
 	progs []*lang.Program
 	n     int
 
+	// dist caches the topology's hop-distance table as one flat slice
+	// (dist[from*n+to]), so the per-message distance lookup is an indexed
+	// load instead of an interface call. Built once at construction; the
+	// equivalence with Topo.Dist is pinned by TestHopCacheMatchesTopology.
+	dist []int32
+
 	// session, when non-nil, owns request bookkeeping: root completions are
 	// routed per-request instead of stopping the whole run. Run attaches one
 	// implicitly, so there is a single execution path.
@@ -41,6 +47,12 @@ type Machine struct {
 	repSeq uint64
 	genSeq uint64
 
+	// msgFree recycles delivered protocol messages: a Msg is alive only
+	// from post until its delivery callback returns (handlers retain
+	// payload pointers — packets, results — never the envelope), so the
+	// machine reuses envelopes instead of allocating one per message.
+	msgFree []*proto.Msg
+
 	// Completion state.
 	done   bool
 	answer expr.Value
@@ -48,10 +60,10 @@ type Machine struct {
 	runErr error
 
 	// failTime records injected failure times for detection-latency
-	// accounting; firstDetect marks which failures have been detected by
-	// anyone yet.
-	failTime    map[proto.ProcID]sim.Time
-	firstDetect map[proto.ProcID]bool
+	// accounting (-1 = never failed); firstDetect marks which failures have
+	// been detected by anyone yet. Indexed by ProcID; the host never fails.
+	failTime    []sim.Time
+	firstDetect []bool
 
 	stateSamples []StateSample
 }
@@ -130,20 +142,59 @@ func New(cfg Config, prog *lang.Program) (*Machine, error) {
 		return nil, errors.New("machine: program is required")
 	}
 	m := &Machine{
-		cfg:         norm,
-		kernel:      sim.NewKernel(norm.Seed),
-		progs:       []*lang.Program{prog},
-		n:           norm.Topo.Size(),
-		tlog:        norm.Trace,
-		failTime:    map[proto.ProcID]sim.Time{},
-		firstDetect: map[proto.ProcID]bool{},
+		cfg:    norm,
+		kernel: sim.NewKernel(norm.Seed),
+		progs:  []*lang.Program{prog},
+		n:      norm.Topo.Size(),
+		tlog:   norm.Trace,
 	}
+	m.failTime = make([]sim.Time, m.n)
+	for i := range m.failTime {
+		m.failTime[i] = -1
+	}
+	m.firstDetect = make([]bool, m.n)
+	m.dist = make([]int32, m.n*m.n)
+	for from := 0; from < m.n; from++ {
+		for to := 0; to < m.n; to++ {
+			m.dist[from*m.n+to] = int32(norm.Topo.Dist(nodeID(from), nodeID(to)))
+		}
+	}
+	m.kernel.SetSink(m.deliverEvent)
 	m.procs = make([]*proc, m.n)
 	for i := 0; i < m.n; i++ {
 		m.procs[i] = newProc(proto.ProcID(i), m, false)
 	}
 	m.host = newProc(proto.HostID, m, true)
 	return m, nil
+}
+
+// getMsg takes a recycled message envelope (or a fresh one) and fills it.
+func (m *Machine) getMsg(msg proto.Msg) *proto.Msg {
+	if n := len(m.msgFree); n > 0 {
+		pm := m.msgFree[n-1]
+		m.msgFree[n-1] = nil
+		m.msgFree = m.msgFree[:n-1]
+		*pm = msg
+		return pm
+	}
+	pm := new(proto.Msg)
+	*pm = msg
+	return pm
+}
+
+// putMsg recycles a message envelope once delivery (or a drop) is done.
+// Payload pointers are cleared so recycled envelopes pin nothing.
+func (m *Machine) putMsg(pm *proto.Msg) {
+	*pm = proto.Msg{}
+	m.msgFree = append(m.msgFree, pm)
+}
+
+// deliverEvent is the kernel's payload sink: every scheduled message lands
+// here, is handled, and its envelope recycled.
+func (m *Machine) deliverEvent(v any) {
+	pm := v.(*proto.Msg)
+	m.deliver(pm)
+	m.putMsg(pm)
 }
 
 // Kernel exposes the event kernel (scenario tests schedule probes with it).
@@ -205,8 +256,11 @@ func (m *Machine) log(p proto.ProcID, kind trace.Kind, task, note string) {
 // noteDetection records detection latency the first time anyone detects a
 // given failure.
 func (m *Machine) noteDetection(failed proto.ProcID) {
-	ft, ok := m.failTime[failed]
-	if !ok || m.firstDetect[failed] {
+	if failed < 0 || int(failed) >= m.n {
+		return
+	}
+	ft := m.failTime[failed]
+	if ft < 0 || m.firstDetect[failed] {
 		return
 	}
 	m.firstDetect[failed] = true
@@ -216,8 +270,10 @@ func (m *Machine) noteDetection(failed proto.ProcID) {
 
 // send transmits a message. Local (from == to) deliveries cost one tick and
 // no message accounting; remote ones pay per-hop latency and are counted.
-// Dead processors transmit nothing.
-func (m *Machine) send(msg *proto.Msg) {
+// Dead processors transmit nothing. The message is taken by value: the
+// machine copies it into a pooled envelope that lives exactly until
+// delivery, so the call sites' composite literals stay on the stack.
+func (m *Machine) send(msg proto.Msg) {
 	src := m.proc(msg.From)
 	if src == nil || src.dead {
 		// Dead processors no longer transmit (§1); the announced-crash
@@ -225,7 +281,7 @@ func (m *Machine) send(msg *proto.Msg) {
 		return
 	}
 	if msg.From == msg.To {
-		m.kernel.After(1, func() { m.deliver(msg) })
+		m.kernel.AfterMsg(1, m.getMsg(msg))
 		return
 	}
 	hops := m.hops(msg.From, msg.To)
@@ -237,7 +293,7 @@ func (m *Machine) send(msg *proto.Msg) {
 	if latency < 1 {
 		latency = 1
 	}
-	m.kernel.After(sim.Time(latency), func() { m.deliver(msg) })
+	m.kernel.AfterMsg(sim.Time(latency), m.getMsg(msg))
 }
 
 // countMsg tallies messages that are not already tallied at their call
@@ -272,7 +328,7 @@ func (m *Machine) hops(from, to proto.ProcID) int {
 	if from == proto.HostID || to == proto.HostID {
 		return 1
 	}
-	return m.cfg.Topo.Dist(nodeID(from), nodeID(to))
+	return int(m.dist[int(from)*m.n+int(to)])
 }
 
 // completeRoot records a host-root task's answer: with a session attached
@@ -401,7 +457,9 @@ func (m *Machine) inject(f faults.Fault) {
 			return
 		}
 		m.metrics.Failures++
-		m.failTime[f.Proc] = m.kernel.Now()
+		if f.Proc >= 0 && int(f.Proc) < m.n {
+			m.failTime[f.Proc] = m.kernel.Now()
+		}
 		m.log(f.Proc, trace.KFail, "", f.Kind.String())
 		p.die(f.Kind == faults.CrashAnnounced)
 	}

@@ -3,7 +3,7 @@ package machine
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/balance"
 	"repro/internal/checkpoint"
@@ -18,6 +18,12 @@ import (
 
 // proc is one processor of the machine (or the host pseudo-processor).
 // It is single-threaded: all methods run inside kernel events.
+//
+// The per-neighbor and per-peer bookkeeping (faulty, nbGrad, lastHeard) is
+// ProcID-indexed slices rather than maps: processor ids are dense small
+// integers, and these tables sit on the failure-detection and placement hot
+// paths. TestSliceStateMatchesMapSemantics pins the map semantics the
+// slices replace (absent key = not faulty / MaxGradient / never heard).
 type proc struct {
 	id     proto.ProcID
 	m      *Machine
@@ -33,23 +39,33 @@ type proc struct {
 	store  *checkpoint.Store
 	policy recovery.Policy
 
-	faulty    map[proto.ProcID]bool
+	faulty    []bool // indexed by ProcID; the host is assumed reliable
 	neighbors []proto.ProcID
 
-	// Gradient-model state: last gossiped value per neighbor, last value we
-	// sent (to gossip only on change).
-	nbGrad       map[proto.ProcID]int
+	// Gradient-model state: last gossiped value per neighbor (MaxGradient
+	// until heard), last value we sent (to gossip only on change).
+	nbGrad       []int
 	lastSentGrad int
 
-	// Heartbeat bookkeeping: last time each neighbor answered.
-	lastHeard map[proto.ProcID]sim.Time
+	// Heartbeat bookkeeping: last time each neighbor answered (-1 = never).
+	lastHeard []sim.Time
 
 	// relayBuf buffers orphan results for twins whose placement is not yet
 	// acknowledged (§4.1 "Having the grandparent relay partial results").
 	relayBuf map[proto.TaskKey][]*proto.Result
 
-	hbTimer     *sim.Timer
-	gossipTimer *sim.Timer
+	// hostRelayed marks failures this processor has already announced to
+	// the host console, so inheriting console duty (see relaysToHost)
+	// relays each failure at most once.
+	hostRelayed []bool
+
+	hbTimer     sim.Timer
+	gossipTimer sim.Timer
+
+	// hbFn and gossipFn are the periodic tick closures, built once so
+	// rescheduling a tick does not allocate a fresh closure every period.
+	hbFn     func()
+	gossipFn func()
 
 	// stepsDone counts reduction steps executed here (load accounting).
 	stepsDone int64
@@ -62,11 +78,17 @@ func newProc(id proto.ProcID, m *Machine, isHost bool) *proc {
 		isHost:       isHost,
 		tasks:        make(map[proto.TaskKey]*task),
 		store:        checkpoint.NewStore(),
-		faulty:       make(map[proto.ProcID]bool),
-		nbGrad:       make(map[proto.ProcID]int),
-		lastHeard:    make(map[proto.ProcID]sim.Time),
+		faulty:       make([]bool, m.n),
+		nbGrad:       make([]int, m.n),
+		lastHeard:    make([]sim.Time, m.n),
 		relayBuf:     make(map[proto.TaskKey][]*proto.Result),
 		lastSentGrad: -1,
+	}
+	for i := range p.nbGrad {
+		p.nbGrad[i] = balance.MaxGradient
+	}
+	for i := range p.lastHeard {
+		p.lastHeard[i] = -1
 	}
 	if isHost {
 		p.neighbors = []proto.ProcID{0}
@@ -75,6 +97,8 @@ func newProc(id proto.ProcID, m *Machine, isHost bool) *proc {
 			p.neighbors = append(p.neighbors, proto.ProcID(nb))
 		}
 	}
+	p.hbFn = p.heartbeatTick
+	p.gossipFn = p.gossipTick
 	p.policy = m.cfg.Scheme.New(p)
 	return p
 }
@@ -101,14 +125,20 @@ func (p *proc) Neighbors() []proto.ProcID { return p.neighbors }
 
 // NeighborGradient implements balance.View.
 func (p *proc) NeighborGradient(q proto.ProcID) int {
-	if g, ok := p.nbGrad[q]; ok {
-		return g
+	if q >= 0 && int(q) < len(p.nbGrad) {
+		return p.nbGrad[q]
 	}
 	return balance.MaxGradient
 }
 
+// isFaulty reports whether q is believed failed. Ids outside the processor
+// range (the host, pending placements) are never faulty.
+func (p *proc) isFaulty(q proto.ProcID) bool {
+	return q >= 0 && int(q) < len(p.faulty) && p.faulty[q]
+}
+
 // IsFaulty implements balance.View and part of recovery.Ops.
-func (p *proc) IsFaulty(q proto.ProcID) bool { return p.faulty[q] }
+func (p *proc) IsFaulty(q proto.ProcID) bool { return p.isFaulty(q) }
 
 // Rand implements balance.View.
 func (p *proc) Rand() *rand.Rand { return p.m.kernel.Rand() }
@@ -126,11 +156,17 @@ func (p *proc) ResidentTaskKeys() []proto.TaskKey {
 			out = append(out, k)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if c := out[i].Stamp.Compare(out[j].Stamp); c != 0 {
-			return c < 0
+	slices.SortFunc(out, func(a, b proto.TaskKey) int {
+		if c := a.Stamp.Compare(b.Stamp); c != 0 {
+			return c
 		}
-		return out[i].Rep < out[j].Rep
+		switch {
+		case a.Rep < b.Rep:
+			return -1
+		case a.Rep > b.Rep:
+			return 1
+		}
+		return 0
 	})
 	return out
 }
@@ -141,12 +177,12 @@ func (p *proc) TaskWaitingOnHole(key proto.TaskKey, holeID int) bool {
 	if !ok || t.state == taskAborted {
 		return false
 	}
-	h, ok := t.holes[holeID]
-	return ok && !h.filled
+	h := t.holeAt(holeID)
+	return h != nil && !h.filled
 }
 
 // IsKnownFaulty implements recovery.Ops.
-func (p *proc) IsKnownFaulty(q proto.ProcID) bool { return p.faulty[q] }
+func (p *proc) IsKnownFaulty(q proto.ProcID) bool { return p.isFaulty(q) }
 
 // Metrics implements recovery.Ops.
 func (p *proc) Metrics() *trace.Metrics { return &p.m.metrics }
@@ -180,8 +216,8 @@ func (p *proc) Respawn(pkt *proto.TaskPacket) {
 		p.m.log(p.id, trace.KLateResult, pkt.Key.String(), "respawn skipped: parent gone")
 		return
 	}
-	h, ok := parent.holes[pkt.HoleID]
-	if !ok || h.filled {
+	h := parent.holeAt(pkt.HoleID)
+	if h == nil || h.filled {
 		p.m.log(p.id, trace.KLateResult, pkt.Key.String(), "respawn skipped: hole filled")
 		return
 	}
@@ -246,20 +282,16 @@ func (p *proc) abortGen(key proto.TaskKey, gen uint64, scope stamp.Stamp, reason
 	p.m.metrics.TasksAborted++
 	p.m.metrics.StepsWasted += t.stepsSpent
 	p.m.log(p.id, trace.KAbort, key.String(), reason)
-	ids := make([]int, 0, len(t.holes))
-	for id := range t.holes {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		h := t.holes[id]
-		if h.filled {
+	// Holes are stored dense by demand id, so index order is ascending id
+	// order — the order the sort.Ints pass used to establish.
+	for _, h := range t.holes {
+		if h == nil || h.filled {
 			continue
 		}
 		for _, c := range h.children {
 			p.store.Release(c.key)
 			if c.dest >= 0 && !p.faulty[c.dest] {
-				p.m.send(&proto.Msg{
+				p.m.send(proto.Msg{
 					Type: proto.MsgAbort, From: p.id, To: c.dest,
 					AbortTask: c.key, AbortGen: c.gen, AbortScope: scope,
 				})
@@ -276,7 +308,7 @@ func (p *proc) abortGen(key proto.TaskKey, gen uint64, scope stamp.Stamp, reason
 		if pp == p.id {
 			p.abortGen(t.pkt.Parent.Task, t.pkt.ParentGen, scope, "dependent of reissued "+scope.String())
 		} else if pp >= 0 && !p.faulty[pp] {
-			p.m.send(&proto.Msg{
+			p.m.send(proto.Msg{
 				Type: proto.MsgAbort, From: p.id, To: pp,
 				AbortTask: t.pkt.Parent.Task, AbortGen: t.pkt.ParentGen, AbortScope: scope,
 			})
@@ -298,7 +330,7 @@ func (p *proc) EscalateResult(res *proto.Result) {
 		fwd.ParentTask = anc.Task
 		fwd.Remaining = rem
 		p.m.metrics.MsgGrand++ // categorized here; send() counts bytes/hops
-		p.m.send(&proto.Msg{Type: proto.MsgGrandResult, From: p.id, To: anc.Proc, Result: &fwd})
+		p.m.send(proto.Msg{Type: proto.MsgGrandResult, From: p.id, To: anc.Proc, Result: &fwd})
 		// Guard the escalation with the completing task's result timer: if
 		// the ancestor is silently dead too, time out and escalate further
 		// (§5.2 multi-fault extension).
@@ -341,10 +373,48 @@ func (p *proc) onGrandTimeout(child proto.TaskKey, ancProc proto.ProcID, res *pr
 // DeclareFaulty implements recovery.Ops.
 func (p *proc) DeclareFaulty(q proto.ProcID) { p.declareFaulty(q) }
 
+// relaysToHost reports whether this processor currently holds console duty:
+// it is the lowest-numbered processor it does not itself believe failed.
+// With processor 0 alive that is processor 0 — the paper's "operator
+// console attaches at processor 0's port" (§4.3.1) — and when 0 dies the
+// next live processor inherits the duty. Without the inheritance, any crash
+// set containing processor 0 left the host deaf to later announcements, so
+// a root task whose only checkpoint the host held was never reissued and
+// the run stranded until its deadline (the documented ancestor-chain-loss
+// wedge, e.g. killing {0,5} of 6 under rollback).
+func (p *proc) relaysToHost() bool {
+	if p.isHost {
+		return false
+	}
+	for q := proto.ProcID(0); q < p.id; q++ {
+		if !p.faulty[q] {
+			return false
+		}
+	}
+	return true
+}
+
+// relayFailuresToHost forwards every not-yet-relayed known failure to the
+// host, in ascending processor order. A processor that just inherited
+// console duty thereby back-fills announcements it declared before taking
+// over; for processor 0 in a healthy run this degenerates to relaying
+// exactly the failure that was just declared.
+func (p *proc) relayFailuresToHost() {
+	if p.hostRelayed == nil {
+		p.hostRelayed = make([]bool, p.m.n)
+	}
+	for q := 0; q < p.m.n; q++ {
+		if p.faulty[q] && !p.hostRelayed[q] {
+			p.hostRelayed[q] = true
+			p.m.send(proto.Msg{Type: proto.MsgFaultAnnounce, From: p.id, To: proto.HostID, Failed: proto.ProcID(q)})
+		}
+	}
+}
+
 // declareFaulty marks q failed, floods the announcement, fails fast any
 // returning results addressed to q, and invokes the recovery policy.
 func (p *proc) declareFaulty(q proto.ProcID) {
-	if q == proto.HostID || q == p.id || p.faulty[q] || p.dead {
+	if q == proto.HostID || q == p.id || p.dead || p.isFaulty(q) {
 		return
 	}
 	p.faulty[q] = true
@@ -354,12 +424,12 @@ func (p *proc) declareFaulty(q proto.ProcID) {
 	// Flood the announcement (§4.2 "error-detection").
 	for _, nb := range p.neighbors {
 		if !p.faulty[nb] {
-			p.m.send(&proto.Msg{Type: proto.MsgFaultAnnounce, From: p.id, To: nb, Failed: q})
+			p.m.send(proto.Msg{Type: proto.MsgFaultAnnounce, From: p.id, To: nb, Failed: q})
 		}
 	}
-	if p.id == 0 && !p.isHost {
-		// Processor 0 relays announcements to the host console.
-		p.m.send(&proto.Msg{Type: proto.MsgFaultAnnounce, From: p.id, To: proto.HostID, Failed: q})
+	if p.relaysToHost() {
+		// The console relay forwards announcements to the host.
+		p.relayFailuresToHost()
 	}
 	// Recovery hook.
 	p.policy.OnFailureDetected(q)
@@ -387,14 +457,14 @@ func (p *proc) RelayToTwin(res *proto.Result) {
 		p.DropResult(res, false)
 		return
 	}
-	if dest == checkpoint.PendingDest || p.faulty[dest] {
+	if dest == checkpoint.PendingDest || p.isFaulty(dest) {
 		p.relayBuf[key] = append(p.relayBuf[key], res)
 		return
 	}
 	fwd := *res
 	fwd.ParentTask = key
 	p.m.metrics.MsgResult++
-	p.m.send(&proto.Msg{Type: proto.MsgResult, From: p.id, To: dest, Result: &fwd})
+	p.m.send(proto.Msg{Type: proto.MsgResult, From: p.id, To: dest, Result: &fwd})
 }
 
 // --- task execution ---
@@ -435,9 +505,13 @@ func (p *proc) runPass(t *task) {
 			out, err = lang.Flatten(prog, body, &t.nextID)
 		}
 	} else {
+		// The fills map is consumed synchronously by Resume, then cleared
+		// and kept: results arriving after this instant land in the same
+		// (now empty) map, exactly as they landed in the fresh map the
+		// pre-optimisation kernel allocated per pass.
 		fills := t.pendingFills
-		t.pendingFills = map[int]expr.Value{}
 		out, err = lang.Resume(prog, t.residual, fills, &t.nextID)
+		clear(fills)
 	}
 	if err != nil {
 		p.m.failRun(fmt.Errorf("task %v on processor %d: %w", t.pkt.Key, p.id, err))
@@ -504,14 +578,13 @@ func (p *proc) finishPass(t *task, out lang.Outcome) {
 // identifications, queue it to the load balancing manager, and functional
 // checkpoint it.
 func (p *proc) spawnDemand(t *task, d lang.Demand) {
-	if v, ok := t.prefill[d.ID]; ok {
+	if v, ok := t.takePrefill(d.ID); ok {
 		// The answer is already there (§4.1 case 4/5): consume the
 		// inherited result; do not spawn.
-		delete(t.prefill, d.ID)
 		h := t.hole(d.ID)
 		h.filled = true
 		h.value = v
-		t.pendingFills[d.ID] = v
+		t.addFill(d.ID, v)
 		p.m.metrics.Prefills++
 		if p.m.tracing() {
 			p.m.log(p.id, trace.KPrefill, t.pkt.Key.String(), fmt.Sprintf("hole %d inherited", d.ID))
@@ -613,7 +686,7 @@ func (p *proc) route(parent *task, pkt *proto.TaskPacket, cr *childRef, avoid ma
 		// processors instead.
 		if dest := p.randomLive(); dest != p.id {
 			p.m.metrics.MsgTask++
-			p.m.send(&proto.Msg{Type: proto.MsgTask, From: p.id, To: dest, Task: pkt, Hops: 0})
+			p.m.send(proto.Msg{Type: proto.MsgTask, From: p.id, To: dest, Task: pkt, Hops: 0})
 			return dest
 		}
 		p.settle(pkt)
@@ -632,13 +705,13 @@ func (p *proc) route(parent *task, pkt *proto.TaskPacket, cr *childRef, avoid ma
 			dest = 0
 		}
 		p.m.metrics.MsgTask++
-		p.m.send(&proto.Msg{Type: proto.MsgTask, From: p.id, To: dest, Task: pkt, Hops: 0})
+		p.m.send(proto.Msg{Type: proto.MsgTask, From: p.id, To: dest, Task: pkt, Hops: 0})
 		return dest
 	}
 	// Hop-by-hop (gradient): the host always hands off to processor 0.
 	if p.isHost {
 		p.m.metrics.MsgTask++
-		p.m.send(&proto.Msg{Type: proto.MsgTask, From: p.id, To: 0, Task: pkt, Hops: 0})
+		p.m.send(proto.Msg{Type: proto.MsgTask, From: p.id, To: 0, Task: pkt, Hops: 0})
 		return 0
 	}
 	next := p.m.cfg.Placement.Step(p, 0)
@@ -647,23 +720,34 @@ func (p *proc) route(parent *task, pkt *proto.TaskPacket, cr *childRef, avoid ma
 		return next
 	}
 	p.m.metrics.MsgTask++
-	p.m.send(&proto.Msg{Type: proto.MsgTask, From: p.id, To: next, Task: pkt, Hops: 1})
+	p.m.send(proto.Msg{Type: proto.MsgTask, From: p.id, To: next, Task: pkt, Hops: 1})
 	return next
 }
 
 // randomLive picks a uniformly random processor not believed faulty
-// (possibly this one).
+// (possibly this one). The two-pass count-then-walk keeps the RNG draw —
+// one Intn over the live count — identical to the slice-collecting version
+// while allocating nothing.
 func (p *proc) randomLive() proto.ProcID {
-	live := make([]proto.ProcID, 0, p.m.n)
+	live := 0
 	for i := 0; i < p.m.n; i++ {
-		if q := proto.ProcID(i); !p.faulty[q] {
-			live = append(live, q)
+		if !p.faulty[i] {
+			live++
 		}
 	}
-	if len(live) == 0 {
+	if live == 0 {
 		return p.id
 	}
-	return live[p.m.kernel.Rand().Intn(len(live))]
+	k := p.m.kernel.Rand().Intn(live)
+	for i := 0; i < p.m.n; i++ {
+		if !p.faulty[i] {
+			if k == 0 {
+				return proto.ProcID(i)
+			}
+			k--
+		}
+	}
+	return p.id
 }
 
 // onAckTimeout fires when a spawned packet's placement was never
@@ -677,8 +761,8 @@ func (p *proc) onAckTimeout(parent *task, pkt *proto.TaskPacket, cr *childRef) {
 	if t, ok := p.tasks[parent.pkt.Key]; !ok || t != parent || parent.state == taskAborted {
 		return
 	}
-	h, ok := parent.holes[pkt.HoleID]
-	if !ok || h.filled || cr.dest != checkpoint.PendingDest {
+	h := parent.holeAt(pkt.HoleID)
+	if h == nil || h.filled || cr.dest != checkpoint.PendingDest {
 		return
 	}
 	cr.retries++
@@ -697,7 +781,7 @@ func (p *proc) settle(pkt *proto.TaskPacket) {
 	if p.dead {
 		return
 	}
-	ack := &proto.Msg{
+	ack := proto.Msg{
 		Type: proto.MsgTaskAck, From: p.id, To: pkt.Parent.Proc,
 		AckTask: pkt.Key, AckParent: pkt.Parent.Task, AckGen: pkt.Gen,
 		PlacedOn: p.id, AckHole: pkt.HoleID,
@@ -743,7 +827,7 @@ func (p *proc) onTaskMsg(msg *proto.Msg) {
 		next := p.m.cfg.Placement.Step(p, msg.Hops)
 		if next != p.id {
 			p.m.metrics.MsgTask++
-			p.m.send(&proto.Msg{Type: proto.MsgTask, From: p.id, To: next, Task: msg.Task, Hops: msg.Hops + 1})
+			p.m.send(proto.Msg{Type: proto.MsgTask, From: p.id, To: next, Task: msg.Task, Hops: msg.Hops + 1})
 			return
 		}
 	}
@@ -758,16 +842,16 @@ func (p *proc) onTaskAck(msg *proto.Msg) {
 		// The parent is gone: the settled child is an orphan; kill exactly
 		// that incarnation (rollback GC). Under splice parents do not
 		// abort, so this is a rollback/none path.
-		if !p.faulty[msg.PlacedOn] {
-			p.m.send(&proto.Msg{
+		if !p.isFaulty(msg.PlacedOn) {
+			p.m.send(proto.Msg{
 				Type: proto.MsgAbort, From: p.id, To: msg.PlacedOn,
 				AbortTask: msg.AckTask, AbortGen: msg.AckGen,
 			})
 		}
 		return
 	}
-	h, ok := t.holes[msg.AckHole]
-	if !ok {
+	h := t.holeAt(msg.AckHole)
+	if h == nil {
 		return
 	}
 	for _, cr := range h.children {
@@ -819,7 +903,7 @@ func (p *proc) sendResult(t *task) {
 		HoleID: t.pkt.HoleID, Value: t.value,
 	}
 	p.m.metrics.MsgResult++
-	p.m.send(&proto.Msg{Type: proto.MsgResult, From: p.id, To: dest, Result: res})
+	p.m.send(proto.Msg{Type: proto.MsgResult, From: p.id, To: dest, Result: res})
 	t.resultTimer.Stop()
 	t.resultTimer = p.m.kernel.After(p.m.cfg.ResultTimeout, func() { p.onResultTimeout(t) })
 }
@@ -866,11 +950,11 @@ func (p *proc) onResultMsg(msg *proto.Msg) {
 		p.ackResult(msg.From, res.Child, true)
 		return
 	}
-	h, ok := t.holes[res.HoleID]
-	if !ok {
+	h := t.holeAt(res.HoleID)
+	if h == nil {
 		// The demand has not been issued yet: this task is a twin running
 		// behind its predecessor; inherit the result (§4.1 case 4/5).
-		t.prefill[res.HoleID] = res.Value
+		t.addPrefill(res.HoleID, res.Value)
 		if p.m.tracing() {
 			p.m.log(p.id, trace.KResult, res.Child.String(), fmt.Sprintf("inherited for hole %d", res.HoleID))
 		}
@@ -953,7 +1037,7 @@ func (p *proc) fillHole(t *task, h *holeRec, v expr.Value) {
 			p.m.log(p.id, trace.KCkptRelease, c.key.String(), "")
 		}
 	}
-	t.pendingFills[h.id] = v
+	t.addFill(h.id, v)
 	t.unfilled--
 	if p.m.tracing() {
 		p.m.log(p.id, trace.KResult, t.pkt.Key.String(), fmt.Sprintf("hole %d := %s", h.id, v))
@@ -968,7 +1052,7 @@ func (p *proc) fillHole(t *task, h *holeRec, v expr.Value) {
 // ackResult acknowledges a result delivery.
 func (p *proc) ackResult(to proto.ProcID, child proto.TaskKey, ok bool) {
 	p.m.metrics.MsgResultAck++
-	p.m.send(&proto.Msg{Type: proto.MsgResultAck, From: p.id, To: to, AckChild: child, ResultOK: ok})
+	p.m.send(proto.Msg{Type: proto.MsgResultAck, From: p.id, To: to, AckChild: child, ResultOK: ok})
 }
 
 // onResultAck retires the returning task (delivery confirmed) or hands the
@@ -997,7 +1081,7 @@ func (p *proc) onGrandResult(msg *proto.Msg) {
 	// Always acknowledge: grand results are never retried against a live
 	// processor (the rule of thumb: handle or ignore).
 	p.m.metrics.MsgResultAck++
-	p.m.send(&proto.Msg{Type: proto.MsgResultAck, From: p.id, To: msg.From, AckChild: msg.Result.Child, ResultOK: true})
+	p.m.send(proto.Msg{Type: proto.MsgResultAck, From: p.id, To: msg.From, AckChild: msg.Result.Child, ResultOK: true})
 	p.policy.OnGrandResult(msg.Result)
 }
 
@@ -1024,19 +1108,19 @@ func (p *proc) heartbeatTick() {
 		if p.faulty[nb] {
 			continue
 		}
-		if last, ok := p.lastHeard[nb]; ok && now-last > limit {
+		if last := p.lastHeard[nb]; last >= 0 && now-last > limit {
 			p.declareFaulty(nb)
 			continue
 		}
 		p.m.metrics.MsgHeartbeat++
-		p.m.send(&proto.Msg{Type: proto.MsgHeartbeat, From: p.id, To: nb})
+		p.m.send(proto.Msg{Type: proto.MsgHeartbeat, From: p.id, To: nb})
 	}
-	p.hbTimer = p.m.kernel.After(p.m.cfg.HeartbeatEvery, p.heartbeatTick)
+	p.hbTimer = p.m.kernel.After(p.m.cfg.HeartbeatEvery, p.hbFn)
 }
 
 func (p *proc) onHeartbeat(msg *proto.Msg) {
 	p.m.metrics.MsgHeartbeat++
-	p.m.send(&proto.Msg{Type: proto.MsgHeartbeatAck, From: p.id, To: msg.From})
+	p.m.send(proto.Msg{Type: proto.MsgHeartbeatAck, From: p.id, To: msg.From})
 }
 
 func (p *proc) onHeartbeatAck(msg *proto.Msg) {
@@ -1058,12 +1142,12 @@ func (p *proc) gossipTick() {
 			for _, nb := range p.neighbors {
 				if !p.faulty[nb] {
 					p.m.metrics.MsgLoad++
-					p.m.send(&proto.Msg{Type: proto.MsgLoad, From: p.id, To: nb, LoadVal: val})
+					p.m.send(proto.Msg{Type: proto.MsgLoad, From: p.id, To: nb, LoadVal: val})
 				}
 			}
 		}
 	}
-	p.gossipTimer = p.m.kernel.After(p.m.cfg.LoadGossipEvery, p.gossipTick)
+	p.gossipTimer = p.m.kernel.After(p.m.cfg.LoadGossipEvery, p.gossipFn)
 }
 
 func (p *proc) onLoad(msg *proto.Msg) {
@@ -1104,14 +1188,19 @@ func (p *proc) handle(msg *proto.Msg) {
 }
 
 // die makes the processor fail: it stops transmitting, loses all resident
-// tasks, and (if announced) floods a final declaration.
+// tasks, and (if announced) floods a final declaration. Resident tasks are
+// torn down in map order: the per-task work (timer cancel, counter bumps)
+// is commutative and schedules nothing, so no deterministic order is needed
+// here — unlike declareFaulty's fail-fast pass, which sends messages and
+// keeps the sorted walk.
 func (p *proc) die(announced bool) {
 	if p.dead {
 		return
 	}
-	keys := p.ResidentTaskKeys()
-	for _, k := range keys {
-		t := p.tasks[k]
+	for _, t := range p.tasks {
+		if t.state == taskAborted {
+			continue
+		}
 		p.m.metrics.TasksLost++
 		p.m.metrics.StepsWasted += t.stepsSpent
 		t.cancelTimers()
@@ -1120,14 +1209,14 @@ func (p *proc) die(announced bool) {
 		// The dying gasp (§1: "must voluntarily declare itself faulty").
 		for _, nb := range p.neighbors {
 			p.m.metrics.MsgFault++
-			p.m.send(&proto.Msg{Type: proto.MsgFaultAnnounce, From: p.id, To: nb, Failed: p.id})
+			p.m.send(proto.Msg{Type: proto.MsgFaultAnnounce, From: p.id, To: nb, Failed: p.id})
 		}
 		if p.id != 0 {
 			p.m.metrics.MsgFault++
-			p.m.send(&proto.Msg{Type: proto.MsgFaultAnnounce, From: p.id, To: 0, Failed: p.id})
+			p.m.send(proto.Msg{Type: proto.MsgFaultAnnounce, From: p.id, To: 0, Failed: p.id})
 		} else {
 			p.m.metrics.MsgFault++
-			p.m.send(&proto.Msg{Type: proto.MsgFaultAnnounce, From: p.id, To: proto.HostID, Failed: p.id})
+			p.m.send(proto.Msg{Type: proto.MsgFaultAnnounce, From: p.id, To: proto.HostID, Failed: p.id})
 		}
 	}
 	p.dead = true

@@ -53,7 +53,7 @@ type childRef struct {
 	// placement ack is outstanding (Figure 6 states b/d).
 	dest proto.ProcID
 	// ackTimer fires if no placement ack arrives (state-b reissue).
-	ackTimer *sim.Timer
+	ackTimer sim.Timer
 	// retries counts placement attempts.
 	retries int
 	// returned marks that this replica's result has been received (vote
@@ -108,6 +108,13 @@ func (h *holeRec) returnedCount() int {
 }
 
 // task is one resident task instance.
+//
+// Hole records are a dense slice indexed by demand id rather than a map:
+// demand ids are allocated by the task's own monotone counter (nextID), so
+// they are small, unique, and created in ascending order — indexing the
+// slice is the map lookup, and iterating it is the sorted walk abortGen
+// used to pay a sort.Ints for. The fills and prefill maps are lazy: most
+// tasks are leaves that never receive either.
 type task struct {
 	pkt   *proto.TaskPacket
 	state taskState
@@ -118,8 +125,9 @@ type task struct {
 	nextID       int
 	pendingFills map[int]expr.Value
 
-	// holes maps demand id → record of spawned children.
-	holes    map[int]*holeRec
+	// holes[id] records the children spawned for demand id (nil = the
+	// demand was never issued here).
+	holes    []*holeRec
 	unfilled int // demanded-but-unfilled hole count
 
 	// prefill holds inherited orphan results for demands this task has not
@@ -133,7 +141,7 @@ type task struct {
 	// value is the final result once reduced (taskReturning).
 	value expr.Value
 	// resultTimer guards the result ack; resultTries counts retries.
-	resultTimer *sim.Timer
+	resultTimer sim.Timer
 	resultTries int
 	// escalated marks that the result has been handed to the recovery
 	// policy (orphan escalation); the declare-time fail-fast pass must not
@@ -146,28 +154,61 @@ type task struct {
 }
 
 func newTask(pkt *proto.TaskPacket) *task {
-	return &task{
-		pkt:          pkt,
-		state:        taskReady,
-		pendingFills: map[int]expr.Value{},
-		holes:        map[int]*holeRec{},
-		prefill:      map[int]expr.Value{},
-	}
+	return &task{pkt: pkt, state: taskReady}
 }
 
 // hole returns the record for id, creating it on first use.
 func (t *task) hole(id int) *holeRec {
-	h, ok := t.holes[id]
-	if !ok {
-		h = &holeRec{id: id}
-		t.holes[id] = h
+	for id >= len(t.holes) {
+		t.holes = append(t.holes, nil)
 	}
+	if h := t.holes[id]; h != nil {
+		return h
+	}
+	h := &holeRec{id: id}
+	t.holes[id] = h
 	return h
+}
+
+// holeAt returns the record for id, or nil if the demand was never issued.
+func (t *task) holeAt(id int) *holeRec {
+	if id < 0 || id >= len(t.holes) {
+		return nil
+	}
+	return t.holes[id]
+}
+
+// addFill records a result value for the next resume pass.
+func (t *task) addFill(id int, v expr.Value) {
+	if t.pendingFills == nil {
+		t.pendingFills = make(map[int]expr.Value)
+	}
+	t.pendingFills[id] = v
+}
+
+// addPrefill buffers an inherited result for a not-yet-issued demand.
+func (t *task) addPrefill(id int, v expr.Value) {
+	if t.prefill == nil {
+		t.prefill = make(map[int]expr.Value)
+	}
+	t.prefill[id] = v
+}
+
+// takePrefill consumes a buffered inherited result, if present.
+func (t *task) takePrefill(id int) (expr.Value, bool) {
+	v, ok := t.prefill[id]
+	if ok {
+		delete(t.prefill, id)
+	}
+	return v, ok
 }
 
 // cancelTimers stops every timer the task owns (abort/death cleanup).
 func (t *task) cancelTimers() {
 	for _, h := range t.holes {
+		if h == nil {
+			continue
+		}
 		for _, c := range h.children {
 			c.ackTimer.Stop()
 		}

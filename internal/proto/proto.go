@@ -117,12 +117,23 @@ type TaskPacket struct {
 	// is not part of the packet codec. Zero is the machine's first-loaded
 	// program, which keeps one-shot runs unchanged.
 	Prog int
+
+	// encSize caches EncodedSize: every size-bearing field (stamp, fn,
+	// args, addresses) is fixed at construction — only Gen/ParentGen and
+	// the flags mutate afterwards, and those occupy constant width — so
+	// the first computation holds for the packet's lifetime. 0 = not yet
+	// computed (real sizes are always positive).
+	encSize int
 }
 
 // EncodedSize is the packet's wire size in bytes: stamp, function name,
 // argument values, addresses and flags. Checkpoint storage accounting and
-// message byte counters use it.
+// message byte counters use it; it is called once per hop and once per
+// checkpoint retention, hence the memoization.
 func (p *TaskPacket) EncodedSize() int {
+	if p.encSize > 0 {
+		return p.encSize
+	}
 	n := p.Key.Stamp.EncodedSize() + 8 + 16 // stamp + rep + gen + parent gen
 	n += 4 + len(p.Fn)
 	n += expr.ValuesEncodedSize(p.Args)
@@ -131,6 +142,7 @@ func (p *TaskPacket) EncodedSize() int {
 		n += addrSize(a)
 	}
 	n += 3 // twin, reissue, replicas
+	p.encSize = n
 	return n
 }
 

@@ -5,10 +5,14 @@
 // — the paper's eight completion orderings (Figure 5) and seven spawn states
 // (Figure 6) are reproduced by steering event timing, not by racing real
 // goroutines.
+//
+// The kernel is built for the hot path: dispatch order is the total order
+// (time, sequence), so the heap implementation, event recycling, and the
+// payload fast path below are pure representation choices — they cannot
+// change which event runs when.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -16,58 +20,51 @@ import (
 // Time is virtual time in abstract ticks.
 type Time int64
 
-// Event is a scheduled callback.
+// event is a scheduled occurrence: either a callback (fn) or a payload
+// handed to the kernel's sink. Events are pooled; gen distinguishes
+// incarnations so a Timer held across recycling can never cancel the
+// event's successor.
 type event struct {
 	at   Time
 	seq  uint64 // FIFO tie-break for equal times
 	fn   func()
+	msg  any // delivered to the sink when fn is nil
+	gen  uint64
 	dead bool // cancelled
-	idx  int  // heap index
+	k    *Kernel
+	idx  int // heap position; -1 once popped or removed
 }
 
-// Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ ev *event }
+// Timer is a handle to a scheduled event that can be cancelled. The zero
+// Timer is valid and inert, so callers can keep timers by value.
+type Timer struct {
+	ev  *event
+	gen uint64
+}
 
-// Stop cancels the timer if it has not fired. It reports whether the call
-// prevented the event from firing.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+// Stop cancels the timer if its event has not fired. It reports whether the
+// call prevented the event from firing. A stopped event is removed from the
+// heap immediately — cancelled timers are the common case (placement and
+// result acks usually arrive long before their timeouts), and evicting them
+// keeps the heap small; removing a dead event cannot affect the dispatch
+// order of the live ones.
+func (t Timer) Stop() bool {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.dead {
 		return false
 	}
-	t.ev.dead = true
-	t.ev.fn = nil
+	ev.dead = true
+	ev.fn = nil
+	ev.msg = nil
+	if ev.idx >= 0 {
+		ev.k.removeAt(ev.idx)
+	}
 	return true
 }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool { return t != nil && t.ev != nil && !t.ev.dead }
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+func (t Timer) Active() bool {
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.dead
 }
 
 // Kernel is the event loop. It is not safe for concurrent use; the entire
@@ -75,7 +72,9 @@ func (h *eventHeap) Pop() any {
 type Kernel struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  []*event // binary min-heap on (at, seq)
+	free    []*event // recycled events
+	sink    func(any)
 	rng     *rand.Rand
 	stopped bool
 	// processed counts dispatched events, as a runaway guard and a
@@ -97,24 +96,78 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // Processed returns the number of events dispatched so far.
 func (k *Kernel) Processed() uint64 { return k.processed }
 
+// SetSink installs the payload consumer used by AtMsg/AfterMsg. A kernel
+// serving payload events must have exactly one sink (the simulated machine's
+// message-delivery entry point); installing it once avoids a closure
+// allocation per scheduled message.
+func (k *Kernel) SetSink(fn func(any)) { k.sink = fn }
+
+// alloc takes an event from the free list (or the heap's garbage) and
+// stamps it with the next sequence number.
+func (k *Kernel) alloc(t Time) *event {
+	var ev *event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = t
+	ev.seq = k.seq
+	ev.dead = false
+	ev.k = k
+	k.seq++
+	return ev
+}
+
+// recycle returns a popped event to the free list. Bumping gen invalidates
+// every Timer still pointing at this incarnation.
+func (k *Kernel) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.msg = nil
+	k.free = append(k.free, ev)
+}
+
 // At schedules fn at absolute time t (>= Now) and returns a cancellable
 // handle. Scheduling in the past panics: it is always a simulator bug.
-func (k *Kernel) At(t Time, fn func()) *Timer {
+func (k *Kernel) At(t Time, fn func()) Timer {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, k.now))
 	}
-	ev := &event{at: t, seq: k.seq, fn: fn}
-	k.seq++
-	heap.Push(&k.events, ev)
-	return &Timer{ev: ev}
+	ev := k.alloc(t)
+	ev.fn = fn
+	k.push(ev)
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn d ticks from now.
-func (k *Kernel) After(d Time, fn func()) *Timer {
+func (k *Kernel) After(d Time, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
 	return k.At(k.now+d, fn)
+}
+
+// AtMsg schedules payload delivery to the sink at absolute time t. Payload
+// events cannot be cancelled (message transit is irrevocable in the machine
+// model), which spares the Timer bookkeeping on the hottest schedule path.
+func (k *Kernel) AtMsg(t Time, msg any) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, k.now))
+	}
+	ev := k.alloc(t)
+	ev.msg = msg
+	k.push(ev)
+}
+
+// AfterMsg schedules payload delivery d ticks from now.
+func (k *Kernel) AfterMsg(d Time, msg any) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	k.AtMsg(k.now+d, msg)
 }
 
 // Stop makes Run return after the current event completes. Pending events
@@ -132,6 +185,106 @@ func (k *Kernel) Pending() int {
 	return n
 }
 
+// less orders events by (time, sequence) — a total order, since sequence
+// numbers are unique, so dispatch order is independent of the heap shape.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts an event into the heap.
+func (k *Kernel) push(ev *event) {
+	k.events = append(k.events, ev)
+	ev.idx = len(k.events) - 1
+	k.siftUp(ev.idx)
+}
+
+// pop removes and returns the earliest event.
+func (k *Kernel) pop() *event {
+	h := k.events
+	ev := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[0].idx = 0
+	h[n] = nil
+	k.events = h[:n]
+	k.siftDown(0)
+	ev.idx = -1
+	return ev
+}
+
+// removeAt evicts the event at heap position i and recycles it.
+func (k *Kernel) removeAt(i int) {
+	h := k.events
+	ev := h[i]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	k.events = h[:n]
+	if i < n {
+		h[i] = last
+		last.idx = i
+		k.siftDown(i)
+		k.siftUp(i)
+	}
+	ev.idx = -1
+	k.recycle(ev)
+}
+
+// siftUp restores the heap property upward from position i.
+func (k *Kernel) siftUp(i int) {
+	h := k.events
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		h[i].idx = i
+		h[parent].idx = parent
+		i = parent
+	}
+}
+
+// siftDown restores the heap property downward from position i.
+func (k *Kernel) siftDown(i int) {
+	h := k.events
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		small := l
+		if r := l + 1; r < n && less(h[r], h[l]) {
+			small = r
+		}
+		if !less(h[small], h[i]) {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		h[i].idx = i
+		h[small].idx = small
+		i = small
+	}
+}
+
+// dispatch runs one popped event and recycles it.
+func (k *Kernel) dispatch(ev *event) {
+	k.now = ev.at
+	fn, msg := ev.fn, ev.msg
+	k.processed++
+	if fn != nil {
+		k.recycle(ev)
+		fn()
+		return
+	}
+	k.recycle(ev)
+	k.sink(msg)
+}
+
 // Run dispatches events in (time, seq) order until the queue is empty,
 // Stop is called, or maxEvents events have been processed (0 = unlimited).
 // It returns the reason the loop ended.
@@ -145,19 +298,16 @@ func (k *Kernel) Run(maxEvents uint64) RunResult {
 		if maxEvents > 0 && dispatched >= maxEvents {
 			return RunBudgetExhausted
 		}
-		ev := heap.Pop(&k.events).(*event)
+		ev := k.pop()
 		if ev.dead {
+			k.recycle(ev)
 			continue
 		}
 		if ev.at < k.now {
 			panic("sim: time went backwards")
 		}
-		k.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		k.processed++
 		dispatched++
-		fn()
+		k.dispatch(ev)
 	}
 	if k.stopped {
 		return RunStopped
@@ -180,7 +330,7 @@ func (k *Kernel) RunUntil(deadline Time, maxEvents uint64) RunResult {
 		}
 		next := k.events[0]
 		if next.dead {
-			heap.Pop(&k.events)
+			k.recycle(k.pop())
 			continue
 		}
 		if next.at > deadline {
@@ -189,13 +339,8 @@ func (k *Kernel) RunUntil(deadline Time, maxEvents uint64) RunResult {
 			}
 			return RunDeadline
 		}
-		ev := heap.Pop(&k.events).(*event)
-		k.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		k.processed++
 		dispatched++
-		fn()
+		k.dispatch(k.pop())
 	}
 	if k.now < deadline {
 		k.now = deadline

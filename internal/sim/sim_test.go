@@ -55,9 +55,9 @@ func TestTimerStop(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled timer fired")
 	}
-	var nilTimer *Timer
-	if nilTimer.Stop() {
-		t.Fatal("nil timer Stop returned true")
+	var zeroTimer Timer
+	if zeroTimer.Stop() {
+		t.Fatal("zero timer Stop returned true")
 	}
 }
 
