@@ -386,6 +386,41 @@ func BenchmarkKernelS1Mesh64(b *testing.B) {
 	b.ReportMetric(float64(last.Sim.Metrics.TotalMessages()), "msgs")
 }
 
+// BenchmarkKernelS1Mesh64Sharded4 is the same S1 cell on the 4-shard
+// conservative kernel. The virtual metrics must match BenchmarkKernelS1Mesh64
+// exactly (sharding is a pure representation change); only ns/op may move,
+// tracking the cost or payoff of the lockstep windows on this machine.
+func BenchmarkKernelS1Mesh64Sharded4(b *testing.B) {
+	w := mustWorkload(b, "fib:13")
+	cfg := core.Config{Procs: 64, Seed: 1, Recovery: "rollback", Topology: "mesh", Shards: 4}
+	var last *core.Report
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		last = runOnce(b, cfg, w, nil)
+		if !last.Completed {
+			b.Fatal("sharded S1 mesh cell did not complete")
+		}
+	}
+	b.ReportMetric(float64(last.Makespan), "vticks")
+	b.ReportMetric(float64(last.Sim.Metrics.TotalMessages()), "msgs")
+}
+
+// BenchmarkServiceL3StreamSharded4 runs the L3 service stream with every
+// cell on the 4-shard kernel, covering the cross-shard admission path and
+// the per-pair outbox merges under the full protocol workload.
+func BenchmarkServiceL3StreamSharded4(b *testing.B) {
+	run := lookupTable(b, "L3")
+	saved := core.DefaultShards
+	core.DefaultShards = 4
+	defer func() { core.DefaultShards = saved }()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCascade64Torus isolates the hot path S2 stresses: one cascade
 // recovery on the 64-processor torus, without the table scaffolding.
 func BenchmarkCascade64Torus(b *testing.B) {

@@ -56,6 +56,7 @@ func main() {
 		faultSpec = flag.String("fault", "", "fault plan, e.g. 2@3000 or 1@2000s,3@4000c; in service mode times are stream-clock ticks")
 		showTrace = flag.Bool("trace", false, "print the event trace")
 		deadline  = flag.Int64("deadline", 0, "virtual-time budget (0 = default); per-request in service mode")
+		shards    = flag.Int("shards", 1, "simulation kernel shards (sim backend; 0 or negative = GOMAXPROCS); results are byte-identical at every count")
 		requests  = flag.Int("requests", 0, "service mode: serve N copies of the workload through one open cluster (0 = one-shot)")
 		every     = flag.Int64("every", 0, "service mode: admit requests this many virtual ticks apart on the sim stream clock (0 = all at once)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (profile with `go tool pprof`)")
@@ -101,6 +102,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *shards == 0 {
+		*shards = -1 // 0 on the CLI means "derive from GOMAXPROCS"
+	}
 	cfg := core.Config{
 		Procs:         *procs,
 		Topology:      *topo,
@@ -108,6 +112,7 @@ func main() {
 		Recovery:      *recov,
 		AncestorDepth: *ancestors,
 		Seed:          *seed,
+		Shards:        *shards,
 		Trace:         *showTrace,
 		Deadline:      *deadline,
 	}

@@ -34,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/core"
@@ -53,8 +54,14 @@ func main() {
 		asDoc    = flag.Bool("markdown", false, "emit the self-contained EXPERIMENTS.md document (header + contents + artifacts)")
 		list     = flag.Bool("list", false, "list the registered artifacts and exit")
 		bench    = flag.Int("bench", 0, "with -json: append the B1 wall-time artifact, timing each profile target this many reps (nondeterministic; for BENCH_N.json snapshots, never for EXPERIMENTS.md)")
+		shards   = flag.Int("shards", 1, "simulation kernel shards per cell (0 = GOMAXPROCS); every artifact is byte-identical at every shard count, so this only trades wall-clock time")
 	)
 	flag.Parse()
+	if *shards <= 0 {
+		core.DefaultShards = runtime.GOMAXPROCS(0)
+	} else {
+		core.DefaultShards = *shards
+	}
 	if *asJSON && *asDoc {
 		fmt.Fprintln(os.Stderr, "experiments: -json and -markdown are mutually exclusive")
 		os.Exit(2)

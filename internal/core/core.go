@@ -64,6 +64,12 @@ type Config struct {
 	Replication map[string]int
 	// Seed drives all randomness (default 1).
 	Seed int64
+	// Shards is the simulation kernel's shard count: >1 partitions the
+	// topology into connected regions that simulate in parallel under
+	// conservative lockstep windows, with results byte-identical to the
+	// single-shard reference. 0 uses DefaultShards; negative derives the
+	// count from GOMAXPROCS.
+	Shards int
 	// DisableCheckpoints turns functional checkpointing off entirely.
 	DisableCheckpoints bool
 	// Trace enables event logging when true.
@@ -86,6 +92,14 @@ type Config struct {
 	// no synthetic spacing — so the field is sim-only.
 	ArrivalEvery int64
 }
+
+// DefaultShards is the process-wide shard count used when Config.Shards is
+// zero. It defaults to 1 (the single-shard reference kernel); tools like
+// cmd/experiments set it once at startup so every cell they fan out inherits
+// the same sharding without threading a knob through each call site. Because
+// results are byte-identical at every shard count, changing it never changes
+// any report — only wall-clock time.
+var DefaultShards = 1
 
 // Workload names a program and its invocation.
 type Workload struct {
@@ -250,6 +264,12 @@ func (c Config) Build(prog *lang.Program) (*machine.Machine, error) {
 	}
 	if c.DisableCheckpoints {
 		mc.DisableCheckpoints = true
+	}
+	if mc.Shards == 0 {
+		mc.Shards = c.Shards
+		if mc.Shards == 0 {
+			mc.Shards = DefaultShards
+		}
 	}
 	if mc.Trace == nil && c.Trace {
 		mc.Trace = trace.NewLog(0)

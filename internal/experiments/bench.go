@@ -21,6 +21,12 @@ import (
 // B1Targets names the two profile targets.
 var B1Targets = []string{"S1-64 mesh cell (fib:13, rollback)", "L3 sim stream (32 requests)"}
 
+// B1Shards lists the kernel shard counts each profile target is timed at.
+// The 1-shard rows are the reference kernel (comparable with pre-sharding
+// snapshots); the sharded rows must carry the byte-identical virtual
+// columns and a wall mean no worse than the reference.
+var B1Shards = []int{1, 4}
+
 // B1WallTime times each profile target reps times and reports the minimum
 // and mean wall microseconds next to the run's deterministic counters. The
 // minimum is the stable quantity (least scheduler noise); the mean is
@@ -42,38 +48,52 @@ func B1WallTime(reps int) (*Table, error) {
 		name string
 		run  func() (makespan, messages int64, err error)
 	}
-	targets := []target{
-		{B1Targets[0], func() (int64, int64, error) {
-			w, err := core.StandardWorkload("fib:13")
-			if err != nil {
-				return 0, 0, err
-			}
-			rep, err := core.Config{Procs: 64, Seed: 1, Recovery: "rollback", Topology: "mesh"}.Run(w, nil)
-			if err != nil {
-				return 0, 0, err
-			}
-			if rep.Err != nil || !rep.Completed {
-				return 0, 0, fmt.Errorf("experiments: B1 S1-64 cell incomplete")
-			}
-			return int64(rep.Makespan), rep.Sim.Metrics.TotalMessages(), nil
-		}},
-		{B1Targets[1], func() (int64, int64, error) {
-			tb, err := L3StreamThroughput("sim", 1)
-			if err != nil {
-				return 0, 0, err
-			}
-			// Fold the stream table into one deterministic fingerprint: the
-			// sum over its numeric cells is byte-stable run to run.
-			var sum int64
-			for _, row := range tb.Rows {
-				for _, c := range row {
-					if c.IsNum {
-						sum += int64(c.Num)
+	var targets []target
+	for _, shards := range B1Shards {
+		shards := shards
+		suffix := ""
+		if shards > 1 {
+			suffix = fmt.Sprintf(", %d shards", shards)
+		}
+		targets = append(targets,
+			target{B1Targets[0] + suffix, func() (int64, int64, error) {
+				w, err := core.StandardWorkload("fib:13")
+				if err != nil {
+					return 0, 0, err
+				}
+				rep, err := core.Config{Procs: 64, Seed: 1, Recovery: "rollback",
+					Topology: "mesh", Shards: shards}.Run(w, nil)
+				if err != nil {
+					return 0, 0, err
+				}
+				if rep.Err != nil || !rep.Completed {
+					return 0, 0, fmt.Errorf("experiments: B1 S1-64 cell incomplete")
+				}
+				return int64(rep.Makespan), rep.Sim.Metrics.TotalMessages(), nil
+			}},
+			target{B1Targets[1] + suffix, func() (int64, int64, error) {
+				// The stream driver builds its configs internally, so the shard
+				// count rides in on the process default for the duration of the
+				// run (B1 is always timed single-threaded).
+				saved := core.DefaultShards
+				core.DefaultShards = shards
+				tb, err := L3StreamThroughput("sim", 1)
+				core.DefaultShards = saved
+				if err != nil {
+					return 0, 0, err
+				}
+				// Fold the stream table into one deterministic fingerprint: the
+				// sum over its numeric cells is byte-stable run to run.
+				var sum int64
+				for _, row := range tb.Rows {
+					for _, c := range row {
+						if c.IsNum {
+							sum += int64(c.Num)
+						}
 					}
 				}
-			}
-			return sum, 0, nil
-		}},
+				return sum, 0, nil
+			}})
 	}
 	for _, tg := range targets {
 		var minUS, sumUS, makespan, messages int64

@@ -23,6 +23,7 @@ package machine
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"repro/internal/balance"
 	"repro/internal/recovery"
@@ -48,6 +49,14 @@ type Config struct {
 	Replication map[string]int
 	// Seed drives all randomness.
 	Seed int64
+
+	// Shards is the simulation kernel's shard count: the topology is cut
+	// into that many connected regions (topology.Partition) and each region
+	// runs on its own goroutine in conservatively-synchronized lockstep
+	// windows. Results are byte-identical at every shard count. 0 or 1 runs
+	// the single-shard reference kernel; negative derives the count from
+	// GOMAXPROCS; values above the processor count are clamped.
+	Shards int
 
 	// DisableCheckpoints turns off packet retention entirely — the
 	// zero-fault-tolerance baseline for overhead measurements (T1).
@@ -185,6 +194,12 @@ func (c Config) normalized() (Config, error) {
 	}
 	if c.StepCost < 0 || c.HopCost < 0 || c.MsgOverhead < 0 || c.SpawnOverhead < 0 || c.ByteCost < 0 {
 		return c, errors.New("machine: negative costs are not allowed")
+	}
+	if c.Shards < 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
 	}
 	return c, nil
 }

@@ -93,7 +93,7 @@ func TestSliceStateMatchesMapSemantics(t *testing.T) {
 		t.Fatal("fresh proc claims to have heard neighbor 1")
 	}
 	p.onHeartbeatAck(&proto.Msg{Type: proto.MsgHeartbeatAck, From: 1, To: 4})
-	if p.lastHeard[1] != m.kernel.Now() {
+	if p.lastHeard[1] != m.kern.Now() {
 		t.Fatal("heartbeat ack did not record the hearing time")
 	}
 }

@@ -2,6 +2,8 @@ package machine
 
 import (
 	"errors"
+	"math/rand"
+	"sort"
 
 	"repro/internal/expr"
 	"repro/internal/faults"
@@ -19,8 +21,27 @@ const noProc proto.ProcID = -3
 
 // Machine is the simulated applicative multiprocessor.
 type Machine struct {
-	cfg    Config
-	kernel *sim.Kernel
+	cfg Config
+	// kern is the (possibly sharded) event kernel ensemble. The machine is
+	// partitioned by topology region: every processor is pinned to its
+	// region's shard and all of its events dispatch there; only message
+	// deliveries cross shards, and those are bounded below by the lookahead
+	// horizon (one hop of latency), which is what makes the lockstep windows
+	// sound. With Config.Shards <= 1 the ensemble is a single kernel run
+	// inline — the reference behaviour every shard count must reproduce.
+	kern *sim.Sharded
+	// shards holds the per-shard mutable state: everything a handler touches
+	// during a window lives on exactly one shard (metrics, envelope pools,
+	// trace buffers), so windows need no locks; the coordinator merges at
+	// Finish in the deterministic dispatch order.
+	shards []*shardCtx
+	single bool // len(shards) == 1: skip tagging, write traces directly
+	// segment counts driver run segments (Wait drives). Order between runs
+	// is driver order, not key order — events of a later segment can carry
+	// smaller keys (a re-admission at the stop tick) — so merge order is
+	// (segment, key).
+	segment int
+
 	// progs holds the loaded programs: progs[0] is the program the machine
 	// was built with; service mode (Session) loads one more per distinct
 	// submitted program. Task packets name their program by index (Prog).
@@ -41,31 +62,82 @@ type Machine struct {
 	procs []*proc
 	host  *proc
 
+	// metrics is the merged view, valid after finalReport; during the run
+	// every counter bump goes to the owning shard's context.
 	metrics trace.Metrics
 	tlog    *trace.Log
 
-	repSeq uint64
-	genSeq uint64
-
-	// msgFree recycles delivered protocol messages: a Msg is alive only
-	// from post until its delivery callback returns (handlers retain
-	// payload pointers — packets, results — never the envelope), so the
-	// machine reuses envelopes instead of allocating one per message.
-	msgFree []*proto.Msg
-
-	// Completion state.
+	// Completion state. Written only by host-shard events and read by the
+	// driver between runs.
 	done   bool
 	answer expr.Value
 	doneAt sim.Time
-	runErr error
 
-	// failTime records injected failure times for detection-latency
-	// accounting (-1 = never failed); firstDetect marks which failures have
-	// been detected by anyone yet. Indexed by ProcID; the host never fails.
-	failTime    []sim.Time
-	firstDetect []bool
+	// runErr is the merged first program error (in dispatch order); the
+	// per-shard candidates live on the shard contexts.
+	runErr error
+	errSeg int
+	errKey sim.Key
 
 	stateSamples []StateSample
+}
+
+// shardCtx is the state one shard's handlers may touch freely during a
+// lockstep window. Nothing here is shared between shards until the
+// coordinator merges it (metrics by commutative addition, traces and
+// detections by dispatch order).
+type shardCtx struct {
+	k       *sim.Kernel
+	metrics trace.Metrics
+
+	// msgFree recycles delivered protocol messages: a Msg is alive only
+	// from post until its delivery callback returns (handlers retain
+	// payload pointers — packets, results — never the envelope), so each
+	// shard reuses envelopes instead of allocating one per message.
+	// Envelopes are allocated from the sender's pool and recycled into the
+	// receiver's, so a cross-shard delivery migrates its envelope — still
+	// lock-free, since each pool is only touched by its own shard.
+	msgFree []*proto.Msg
+
+	// traceBuf buffers trace events tagged with their dispatch position
+	// when more than one shard runs; the single-shard machine writes to the
+	// log directly.
+	traceBuf []keyedEvent
+
+	// detects records failure detections for the latency accounting; the
+	// "first" detection of a failure is decided at merge time by dispatch
+	// order, exactly as the single-shard run decides it by arrival.
+	detects []detection
+
+	// runErr is the shard's first program error and its dispatch position.
+	runErr error
+	errSeg int
+	errKey sim.Key
+}
+
+// keyedEvent is a trace event tagged with its dispatch position.
+type keyedEvent struct {
+	seg int
+	key sim.Key
+	ev  trace.Event
+}
+
+// detection is one declareFaulty observation of a (possibly) failed
+// processor, tagged with its dispatch position.
+type detection struct {
+	failed proto.ProcID
+	at     sim.Time
+	seg    int
+	key    sim.Key
+}
+
+// ordBefore reports whether dispatch position (aSeg, aKey) precedes
+// (bSeg, bKey).
+func ordBefore(aSeg int, aKey sim.Key, bSeg int, bKey sim.Key) bool {
+	if aSeg != bSeg {
+		return aSeg < bSeg
+	}
+	return aKey.Less(bKey)
 }
 
 // StateSample is one probe of the machine's resident state.
@@ -142,38 +214,92 @@ func New(cfg Config, prog *lang.Program) (*Machine, error) {
 		return nil, errors.New("machine: program is required")
 	}
 	m := &Machine{
-		cfg:    norm,
-		kernel: sim.NewKernel(norm.Seed),
-		progs:  []*lang.Program{prog},
-		n:      norm.Topo.Size(),
-		tlog:   norm.Trace,
+		cfg:   norm,
+		progs: []*lang.Program{prog},
+		n:     norm.Topo.Size(),
+		tlog:  norm.Trace,
 	}
-	m.failTime = make([]sim.Time, m.n)
-	for i := range m.failTime {
-		m.failTime[i] = -1
+	// The lookahead horizon is the minimum latency of any cross-shard
+	// message: one hop (MsgOverhead + HopCost). Host links are one hop and
+	// any partition of a connected graph has an adjacent cross-region pair,
+	// so the bound is the same at every shard count — which it must be, or
+	// window boundaries (and thus Stop/budget observation points) would
+	// depend on the shard count.
+	horizon := sim.Time(norm.MsgOverhead + norm.HopCost)
+	nshards := norm.Shards
+	if nshards > m.n {
+		nshards = m.n
 	}
-	m.firstDetect = make([]bool, m.n)
+	if horizon < 1 {
+		nshards = 1 // degenerate cost model: no safe lookahead, run inline
+	}
+	homes := make([]int32, m.n+1) // procs 0..n-1, then the host at index n
+	if nshards > 1 {
+		part := topology.Partition(norm.Topo, nshards)
+		nshards = part.Shards
+		copy(homes, part.Region)
+		// The operator console attaches at processor 0's port, so the host
+		// pseudo-processor lives on processor 0's shard.
+		homes[m.n] = part.Region[0]
+	}
+	m.kern = sim.NewSharded(norm.Seed, nshards, homes, horizon)
+	m.single = nshards == 1
+	m.shards = make([]*shardCtx, nshards)
+	for i := range m.shards {
+		sc := &shardCtx{k: m.kern.Shard(i)}
+		m.shards[i] = sc
+		sc.k.SetSink(func(v any) { m.deliverOn(sc, v) })
+	}
 	m.dist = make([]int32, m.n*m.n)
 	for from := 0; from < m.n; from++ {
 		for to := 0; to < m.n; to++ {
 			m.dist[from*m.n+to] = int32(norm.Topo.Dist(nodeID(from), nodeID(to)))
 		}
 	}
-	m.kernel.SetSink(m.deliverEvent)
 	m.procs = make([]*proc, m.n)
 	for i := 0; i < m.n; i++ {
-		m.procs[i] = newProc(proto.ProcID(i), m, false)
+		p := newProc(proto.ProcID(i), m, false)
+		m.wireProc(p, i, homes[i])
+		m.procs[i] = p
 	}
 	m.host = newProc(proto.HostID, m, true)
+	m.wireProc(m.host, m.n, homes[m.n])
 	return m, nil
 }
 
+// wireProc pins a processor to its shard and seeds its private determinism
+// streams (RNG, generation/replica counters live on the proc itself). The
+// streams are per-processor rather than per-kernel so their consumption
+// order — and hence every value drawn — is independent of which processors
+// share a shard.
+func (m *Machine) wireProc(p *proc, idx int, home int32) {
+	p.idx = idx
+	p.sc = m.shards[home]
+	p.k = p.sc.k
+	p.rng = rand.New(rand.NewSource(mixSeed(m.cfg.Seed, idx)))
+	p.failedAt = -1
+}
+
+// mixSeed derives processor idx's RNG seed from the machine seed with a
+// golden-ratio stride, so neighbouring processors get unrelated streams.
+func mixSeed(seed int64, idx int) int64 {
+	return int64(uint64(seed) + uint64(idx+1)*0x9E3779B97F4A7C15)
+}
+
+// ownerOf maps a processor id to its kernel owner index (host = n).
+func (m *Machine) ownerOf(id proto.ProcID) int32 {
+	if id == proto.HostID {
+		return int32(m.n)
+	}
+	return int32(id)
+}
+
 // getMsg takes a recycled message envelope (or a fresh one) and fills it.
-func (m *Machine) getMsg(msg proto.Msg) *proto.Msg {
-	if n := len(m.msgFree); n > 0 {
-		pm := m.msgFree[n-1]
-		m.msgFree[n-1] = nil
-		m.msgFree = m.msgFree[:n-1]
+func (sc *shardCtx) getMsg(msg proto.Msg) *proto.Msg {
+	if n := len(sc.msgFree); n > 0 {
+		pm := sc.msgFree[n-1]
+		sc.msgFree[n-1] = nil
+		sc.msgFree = sc.msgFree[:n-1]
 		*pm = msg
 		return pm
 	}
@@ -184,21 +310,23 @@ func (m *Machine) getMsg(msg proto.Msg) *proto.Msg {
 
 // putMsg recycles a message envelope once delivery (or a drop) is done.
 // Payload pointers are cleared so recycled envelopes pin nothing.
-func (m *Machine) putMsg(pm *proto.Msg) {
+func (sc *shardCtx) putMsg(pm *proto.Msg) {
 	*pm = proto.Msg{}
-	m.msgFree = append(m.msgFree, pm)
+	sc.msgFree = append(sc.msgFree, pm)
 }
 
-// deliverEvent is the kernel's payload sink: every scheduled message lands
-// here, is handled, and its envelope recycled.
-func (m *Machine) deliverEvent(v any) {
+// deliverOn is shard sc's payload sink: every message scheduled onto the
+// shard lands here, is handled, and its envelope recycled into sc's pool
+// (the event's owner is the destination, so sc is the destination's shard).
+func (m *Machine) deliverOn(sc *shardCtx, v any) {
 	pm := v.(*proto.Msg)
 	m.deliver(pm)
-	m.putMsg(pm)
+	sc.putMsg(pm)
 }
 
-// Kernel exposes the event kernel (scenario tests schedule probes with it).
-func (m *Machine) Kernel() *sim.Kernel { return m.kernel }
+// Kernel exposes the kernel ensemble (tests inspect clocks and event
+// counts with it).
+func (m *Machine) Kernel() *sim.Sharded { return m.kern }
 
 // progIndex interns a program and returns its index; progs[0] is the build
 // program, so one-shot packets keep the zero tag.
@@ -234,38 +362,35 @@ func (m *Machine) replicasFor(fn string) int {
 	return 1
 }
 
-// freshRep allocates a replica lineage id.
-func (m *Machine) freshRep() proto.Rep {
-	m.repSeq++
-	return proto.Rep(m.repSeq)
+// log appends a trace event on behalf of processor id; it must be called
+// from id's shard (which every handler call site is). Under a single shard
+// the event goes straight to the log; otherwise it is buffered with its
+// dispatch position and merged at Finish.
+func (m *Machine) log(id proto.ProcID, kind trace.Kind, task, note string) {
+	if m.tlog == nil {
+		return
+	}
+	sc := m.proc(id).sc
+	ev := trace.Event{
+		Time: int64(sc.k.Now()), Proc: int32(id), Kind: kind, Task: task, Note: note,
+	}
+	if m.single {
+		m.tlog.Add(ev)
+		return
+	}
+	sc.traceBuf = append(sc.traceBuf, keyedEvent{seg: m.segment, key: sc.k.CurrentKey(), ev: ev})
 }
 
-// freshGen allocates an incarnation generation (never 0; 0 means "any").
-func (m *Machine) freshGen() uint64 {
-	m.genSeq++
-	return m.genSeq
-}
-
-// log appends a trace event.
-func (m *Machine) log(p proto.ProcID, kind trace.Kind, task, note string) {
-	m.tlog.Add(trace.Event{
-		Time: int64(m.kernel.Now()), Proc: int32(p), Kind: kind, Task: task, Note: note,
-	})
-}
-
-// noteDetection records detection latency the first time anyone detects a
-// given failure.
-func (m *Machine) noteDetection(failed proto.ProcID) {
+// noteDetection records that observer p declared `failed` faulty; whether
+// it was the first detection (for the latency average) is decided at merge
+// time from the dispatch order.
+func (m *Machine) noteDetection(p *proc, failed proto.ProcID) {
 	if failed < 0 || int(failed) >= m.n {
 		return
 	}
-	ft := m.failTime[failed]
-	if ft < 0 || m.firstDetect[failed] {
-		return
-	}
-	m.firstDetect[failed] = true
-	m.metrics.FirstDetections++
-	m.metrics.DetectLatencySum += int64(m.kernel.Now() - ft)
+	p.sc.detects = append(p.sc.detects, detection{
+		failed: failed, at: p.k.Now(), seg: m.segment, key: p.k.CurrentKey(),
+	})
 }
 
 // send transmits a message. Local (from == to) deliveries cost one tick and
@@ -273,6 +398,9 @@ func (m *Machine) noteDetection(failed proto.ProcID) {
 // Dead processors transmit nothing. The message is taken by value: the
 // machine copies it into a pooled envelope that lives exactly until
 // delivery, so the call sites' composite literals stay on the stack.
+// Everything happens on the sender's shard except the final enqueue, which
+// AtMsgTo routes to the destination's shard through the outbox when they
+// differ — sound because remote latency is at least the lookahead horizon.
 func (m *Machine) send(msg proto.Msg) {
 	src := m.proc(msg.From)
 	if src == nil || src.dead {
@@ -280,35 +408,36 @@ func (m *Machine) send(msg proto.Msg) {
 		// "dying gasp" is sent by die() before the flag is set.
 		return
 	}
+	sc := src.sc
 	if msg.From == msg.To {
-		m.kernel.AfterMsg(1, m.getMsg(msg))
+		sc.k.AfterMsg(1, sc.getMsg(msg))
 		return
 	}
 	hops := m.hops(msg.From, msg.To)
 	size := msg.EncodedSize()
-	m.metrics.BytesOnWire += int64(size)
-	m.metrics.HopsOnWire += int64(hops)
-	m.countMsg(msg.Type)
+	sc.metrics.BytesOnWire += int64(size)
+	sc.metrics.HopsOnWire += int64(hops)
+	countMsg(&sc.metrics, msg.Type)
 	latency := m.cfg.MsgOverhead + m.cfg.HopCost*int64(hops) + m.cfg.ByteCost*int64(size/64)
 	if latency < 1 {
 		latency = 1
 	}
-	m.kernel.AfterMsg(sim.Time(latency), m.getMsg(msg))
+	sc.k.AtMsgTo(sc.k.Now()+sim.Time(latency), m.ownerOf(msg.To), sc.getMsg(msg))
 }
 
 // countMsg tallies messages that are not already tallied at their call
 // sites. Task, result, and similar messages increment their specific
 // counters where they are built; the generic ones are counted here.
-func (m *Machine) countMsg(t proto.MsgType) {
+func countMsg(mt *trace.Metrics, t proto.MsgType) {
 	switch t {
-	case proto.MsgAbort:
-		m.metrics.MsgAbort++
+	case proto.MsgAbort, proto.MsgChildAbort:
+		mt.MsgAbort++
 	case proto.MsgFaultAnnounce:
-		m.metrics.MsgFault++
+		mt.MsgFault++
 	case proto.MsgHeartbeatAck:
-		m.metrics.MsgHeartbeat++
+		mt.MsgHeartbeat++
 	case proto.MsgFreeze, proto.MsgFreezeAck, proto.MsgResume:
-		m.metrics.MsgControl++
+		mt.MsgControl++
 	}
 }
 
@@ -343,25 +472,40 @@ func (m *Machine) completeRoot(t *task, v expr.Value) {
 }
 
 // complete records the program's answer arriving at the super-root and
-// stops the run.
+// stops the run. It runs on the host's shard.
 func (m *Machine) complete(v expr.Value) {
 	if m.done {
 		return
 	}
 	m.done = true
 	m.answer = v
-	m.doneAt = m.kernel.Now()
+	m.doneAt = m.host.k.Now()
 	m.log(proto.HostID, trace.KRootDone, "", v.String())
-	m.kernel.Stop()
+	m.host.k.Stop()
 }
 
 // failRun aborts the run with a program error (evaluation errors are
-// deterministic program bugs, not recoverable faults).
-func (m *Machine) failRun(err error) {
-	if m.runErr == nil {
-		m.runErr = err
+// deterministic program bugs, not recoverable faults). p is the processor
+// whose pass failed; the first error in dispatch order wins at merge.
+func (m *Machine) failRun(p *proc, err error) {
+	sc := p.sc
+	if sc.runErr == nil {
+		sc.runErr, sc.errSeg, sc.errKey = err, m.segment, p.k.CurrentKey()
 	}
-	m.kernel.Stop()
+	p.k.Stop()
+}
+
+// mergeRunErr folds the per-shard error candidates into the machine-level
+// first error (dispatch order decides "first", at any shard count).
+func (m *Machine) mergeRunErr() {
+	for _, sc := range m.shards {
+		if sc.runErr == nil {
+			continue
+		}
+		if m.runErr == nil || ordBefore(sc.errSeg, sc.errKey, m.errSeg, m.errKey) {
+			m.runErr, m.errSeg, m.errKey = sc.runErr, sc.errSeg, sc.errKey
+		}
+	}
 }
 
 // Run evaluates fn(args) on the machine under the given fault plan and
@@ -384,13 +528,20 @@ func (m *Machine) Run(fn string, args []expr.Value, plan *faults.Plan) (*Report,
 	return s.Finish(), nil
 }
 
-// finalReport closes the books on the machine: leak and checkpoint-storage
+// finalReport closes the books on the machine: merge the per-shard state
+// (metrics, traces, detections, errors), then leak and checkpoint-storage
 // accounting, then the aggregate report. Tasks still returning have finished
 // their work and are merely awaiting result acknowledgements cut off by the
 // stop; only tasks that never produced a value count as leaked. In service
 // mode Answer/Makespan are those of the first completed request; per-request
 // stamps live on the session's Reqs.
 func (m *Machine) finalReport() *Report {
+	m.mergeRunErr()
+	m.mergeTrace()
+	for _, sc := range m.shards {
+		m.metrics.Add(&sc.metrics)
+	}
+	m.mergeDetections()
 	for _, p := range m.procs {
 		for _, t := range p.tasks {
 			if t.state != taskAborted && t.state != taskReturning {
@@ -403,12 +554,13 @@ func (m *Machine) finalReport() *Report {
 
 	makespan := m.doneAt
 	if !m.done {
-		makespan = m.kernel.Now()
+		makespan = m.kern.Now()
 	}
 	stepsByProc := make([]int64, m.n)
 	for i, p := range m.procs {
 		stepsByProc[i] = p.stepsDone
 	}
+	m.kern.Close()
 	return &Report{
 		Answer:       m.answer,
 		Completed:    m.done,
@@ -419,28 +571,89 @@ func (m *Machine) finalReport() *Report {
 		Scheme:       m.cfg.Scheme.Name(),
 		Placement:    m.cfg.Placement.Name(),
 		Procs:        m.n,
-		Events:       m.kernel.Processed(),
+		Events:       m.kern.Processed(),
 		StateSamples: m.stateSamples,
 		StepsByProc:  stepsByProc,
 	}
 }
 
-// sampleState sums resident task state across processors.
-func (m *Machine) sampleState() StateSample {
-	s := StateSample{Time: m.kernel.Now()}
+// mergeTrace interleaves the per-shard trace buffers into the log in
+// dispatch order. Within one driver segment the dispatch order is the key
+// order (windows advance monotonically in time); across segments it is
+// segment order. The stable sort keeps same-event entries (equal keys) in
+// their emission order, so the merged log is byte-identical to the
+// single-shard log.
+func (m *Machine) mergeTrace() {
+	if m.single || m.tlog == nil {
+		return
+	}
+	var all []keyedEvent
+	for _, sc := range m.shards {
+		all = append(all, sc.traceBuf...)
+		sc.traceBuf = nil
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		return ordBefore(all[i].seg, all[i].key, all[j].seg, all[j].key)
+	})
+	for _, ke := range all {
+		m.tlog.Add(ke.ev)
+	}
+}
+
+// mergeDetections computes the first-detection latency metrics from the
+// per-shard detection records: for each processor that actually failed, the
+// first (in dispatch order) detection at or after the failure counts —
+// exactly the record the single-shard run updates online.
+func (m *Machine) mergeDetections() {
+	type firstRec struct {
+		ok  bool
+		at  sim.Time
+		seg int
+		key sim.Key
+	}
+	firsts := make([]firstRec, m.n)
+	for _, sc := range m.shards {
+		for _, d := range sc.detects {
+			p := m.procs[d.failed]
+			if p.failedAt < 0 {
+				continue // suspected but never actually failed
+			}
+			if ordBefore(d.seg, d.key, p.failSeg, p.failKey) {
+				continue // suspicion predates the actual failure
+			}
+			f := &firsts[d.failed]
+			if !f.ok || ordBefore(d.seg, d.key, f.seg, f.key) {
+				*f = firstRec{ok: true, at: d.at, seg: d.seg, key: d.key}
+			}
+		}
+		sc.detects = nil
+	}
+	for i := range firsts {
+		if firsts[i].ok {
+			m.metrics.FirstDetections++
+			m.metrics.DetectLatencySum += int64(firsts[i].at - m.procs[i].failedAt)
+		}
+	}
+}
+
+// sampleStateAt sums resident task state across processors. It runs at a
+// window barrier (the pacer), so reading every shard's tasks is safe.
+func (m *Machine) sampleStateAt(t sim.Time) StateSample {
+	s := StateSample{Time: t}
 	for _, p := range m.procs {
-		for _, t := range p.tasks {
-			if t.state == taskAborted {
+		for _, tk := range p.tasks {
+			if tk.state == taskAborted {
 				continue
 			}
 			s.Tasks++
-			s.Bytes += int64(t.pkt.EncodedSize())
+			s.Bytes += int64(tk.pkt.EncodedSize())
 		}
 	}
 	return s
 }
 
-// inject applies one fault.
+// inject applies one fault. It runs as an event owned by the target
+// processor, so the bookkeeping lands on that processor's shard.
 func (m *Machine) inject(f faults.Fault) {
 	p := m.proc(f.Proc)
 	if p == nil || p.isHost {
@@ -456,10 +669,10 @@ func (m *Machine) inject(f faults.Fault) {
 		if p.dead {
 			return
 		}
-		m.metrics.Failures++
-		if f.Proc >= 0 && int(f.Proc) < m.n {
-			m.failTime[f.Proc] = m.kernel.Now()
-		}
+		p.sc.metrics.Failures++
+		p.failedAt = p.k.Now()
+		p.failSeg = m.segment
+		p.failKey = p.k.CurrentKey()
 		m.log(f.Proc, trace.KFail, "", f.Kind.String())
 		p.die(f.Kind == faults.CrashAnnounced)
 	}

@@ -29,6 +29,30 @@ type proc struct {
 	m      *Machine
 	isHost bool
 
+	// Shard pinning: every event this processor owns dispatches on shard
+	// sc, through kernel k. idx is the kernel owner index (id, or n for the
+	// host).
+	k   *sim.Kernel
+	sc  *shardCtx
+	idx int
+
+	// rng is the processor's private randomness stream: per-processor
+	// rather than per-kernel so the draw sequence is independent of which
+	// processors share a shard.
+	rng *rand.Rand
+
+	// genSeq and repSeq drive the processor's private generation and
+	// replica-lineage id streams (strided by idx so ids are unique
+	// machine-wide without shared counters).
+	genSeq uint64
+	repSeq uint64
+
+	// failedAt is the injected failure time (-1 = never failed), with the
+	// dispatch position of the injection for the detection-latency merge.
+	failedAt sim.Time
+	failSeg  int
+	failKey  sim.Key
+
 	dead    bool
 	corrupt bool
 
@@ -141,7 +165,22 @@ func (p *proc) isFaulty(q proto.ProcID) bool {
 func (p *proc) IsFaulty(q proto.ProcID) bool { return p.isFaulty(q) }
 
 // Rand implements balance.View.
-func (p *proc) Rand() *rand.Rand { return p.m.kernel.Rand() }
+func (p *proc) Rand() *rand.Rand { return p.rng }
+
+// freshRep allocates a replica lineage id (never 0; 0 means the original
+// lineage). The stream is private to this processor and strided by its
+// owner index, so ids are machine-unique with no cross-shard counter.
+func (p *proc) freshRep() proto.Rep {
+	p.repSeq++
+	return proto.Rep(p.repSeq*uint64(p.m.n+2) + uint64(p.idx))
+}
+
+// freshGen allocates an incarnation generation (never 0; 0 means "any"),
+// from the same kind of private strided stream as freshRep.
+func (p *proc) freshGen() uint64 {
+	p.genSeq++
+	return p.genSeq*uint64(p.m.n+2) + uint64(p.idx)
+}
 
 // --- recovery.Ops ---
 
@@ -184,8 +223,9 @@ func (p *proc) TaskWaitingOnHole(key proto.TaskKey, holeID int) bool {
 // IsKnownFaulty implements recovery.Ops.
 func (p *proc) IsKnownFaulty(q proto.ProcID) bool { return p.isFaulty(q) }
 
-// Metrics implements recovery.Ops.
-func (p *proc) Metrics() *trace.Metrics { return &p.m.metrics }
+// Metrics implements recovery.Ops. The counters are the owning shard's;
+// they merge commutatively at Finish.
+func (p *proc) Metrics() *trace.Metrics { return &p.sc.metrics }
 
 // Log implements recovery.Ops.
 func (p *proc) Log(kind trace.Kind, task fmt.Stringer, note string) {
@@ -199,11 +239,11 @@ func (p *proc) Log(kind trace.Kind, task fmt.Stringer, note string) {
 // DropResult implements recovery.Ops.
 func (p *proc) DropResult(res *proto.Result, stranded bool) {
 	if stranded {
-		p.m.metrics.Stranded++
+		p.sc.metrics.Stranded++
 		p.m.log(p.id, trace.KStrand, res.Child.String(), "no live ancestor")
 		return
 	}
-	p.m.metrics.LateResults++
+	p.sc.metrics.LateResults++
 	p.m.log(p.id, trace.KLateResult, res.Child.String(), "discarded")
 }
 
@@ -233,7 +273,7 @@ func (p *proc) Respawn(pkt *proto.TaskPacket) {
 		h.children = append(h.children, cr)
 	}
 	cr.ackTimer.Stop()
-	pkt.Gen = p.m.freshGen()
+	pkt.Gen = p.freshGen()
 	pkt.ParentGen = parent.pkt.Gen
 	cr.gen = pkt.Gen
 	cr.dest = checkpoint.PendingDest
@@ -241,11 +281,11 @@ func (p *proc) Respawn(pkt *proto.TaskPacket) {
 	cr.returned = false
 	cr.vote = nil
 	if pkt.Twin {
-		p.m.metrics.Twins++
+		p.sc.metrics.Twins++
 	} else if pkt.Reissue {
-		p.m.metrics.Reissues++
+		p.sc.metrics.Reissues++
 	}
-	p.m.metrics.TasksSpawned++
+	p.sc.metrics.TasksSpawned++
 	if !p.m.cfg.DisableCheckpoints {
 		p.store.Retain(pkt)
 	}
@@ -279,8 +319,8 @@ func (p *proc) abortGen(key proto.TaskKey, gen uint64, scope stamp.Stamp, reason
 	t.cancelTimers()
 	t.state = taskAborted
 	delete(p.tasks, key)
-	p.m.metrics.TasksAborted++
-	p.m.metrics.StepsWasted += t.stepsSpent
+	p.sc.metrics.TasksAborted++
+	p.sc.metrics.StepsWasted += t.stepsSpent
 	p.m.log(p.id, trace.KAbort, key.String(), reason)
 	// Holes are stored dense by demand id, so index order is ascending id
 	// order — the order the sort.Ints pass used to establish.
@@ -313,7 +353,59 @@ func (p *proc) abortGen(key proto.TaskKey, gen uint64, scope stamp.Stamp, reason
 				AbortTask: t.pkt.Parent.Task, AbortGen: t.pkt.ParentGen, AbortScope: scope,
 			})
 		}
+		return
 	}
+	// The cascade stops here: the parent is outside the abort scope (or the
+	// abort was unscoped). A live parent still counting on this incarnation
+	// must learn it is gone, or its hole can never fill: an abort scope from
+	// a stale checkpoint reissued on late failure detection can cut across
+	// lineages and kill live-lineage tasks whose parents the scope does not
+	// reach (observed as a permanent wedge under multi-fault kills). The
+	// parent answers by respawning from its retained checkpoint; stale
+	// notifications are filtered by generation there (see onChildAbort).
+	pp := t.pkt.Parent.Proc
+	if pp == noProc || (pp >= 0 && p.faulty[pp]) {
+		return // no parent, or the parent's processor failed (orphan GC)
+	}
+	p.m.send(proto.Msg{
+		Type: proto.MsgChildAbort, From: p.id, To: pp,
+		AbortTask: t.pkt.Key, AbortGen: t.pkt.Gen,
+	})
+}
+
+// onChildAbort handles a notification that a child incarnation this
+// processor placed was aborted remotely. If the hole is still unfilled and
+// the aborted incarnation is the one being tracked, the child is respawned
+// from the retained checkpoint — exactly the reissue path, so placement,
+// acks, and result tracking re-arm as usual.
+func (p *proc) onChildAbort(msg *proto.Msg) {
+	pkt, ok := p.store.Get(msg.AbortTask)
+	if !ok {
+		return // hole already filled (checkpoint released) or never ours
+	}
+	parent, ok := p.tasks[pkt.Parent.Task]
+	if !ok || parent.state == taskAborted {
+		return
+	}
+	h := parent.holeAt(pkt.HoleID)
+	if h == nil || h.filled {
+		return
+	}
+	var cr *childRef
+	for _, c := range h.children {
+		if c.key == msg.AbortTask {
+			cr = c
+			break
+		}
+	}
+	if cr == nil || cr.gen != msg.AbortGen {
+		return // stale: a different incarnation is already in flight
+	}
+	fresh := pkt.Clone()
+	fresh.Reissue = true
+	fresh.Twin = false
+	p.m.log(p.id, trace.KReissue, fresh.Key.String(), fmt.Sprintf("child aborted on %d", msg.From))
+	p.Respawn(fresh)
 }
 
 // EscalateResult implements recovery.Ops: forward an undeliverable result to
@@ -329,7 +421,7 @@ func (p *proc) EscalateResult(res *proto.Result) {
 		fwd := *res
 		fwd.ParentTask = anc.Task
 		fwd.Remaining = rem
-		p.m.metrics.MsgGrand++ // categorized here; send() counts bytes/hops
+		p.sc.metrics.MsgGrand++ // categorized here; send() counts bytes/hops
 		p.m.send(proto.Msg{Type: proto.MsgGrandResult, From: p.id, To: anc.Proc, Result: &fwd})
 		// Guard the escalation with the completing task's result timer: if
 		// the ancestor is silently dead too, time out and escalate further
@@ -339,7 +431,7 @@ func (p *proc) EscalateResult(res *proto.Result) {
 			t.resultTimer.Stop()
 			resCopy := fwd
 			ancProc := anc.Proc
-			t.resultTimer = p.m.kernel.After(p.m.cfg.ResultTimeout, func() {
+			t.resultTimer = p.k.After(p.m.cfg.ResultTimeout, func() {
 				p.onGrandTimeout(res.Child, ancProc, &resCopy)
 			})
 		}
@@ -351,8 +443,8 @@ func (p *proc) EscalateResult(res *proto.Result) {
 		t.cancelTimers()
 		t.state = taskAborted
 		delete(p.tasks, res.Child)
-		p.m.metrics.TasksAborted++
-		p.m.metrics.StepsWasted += t.stepsSpent
+		p.sc.metrics.TasksAborted++
+		p.sc.metrics.StepsWasted += t.stepsSpent
 	}
 }
 
@@ -418,8 +510,8 @@ func (p *proc) declareFaulty(q proto.ProcID) {
 		return
 	}
 	p.faulty[q] = true
-	p.m.metrics.Detections++
-	p.m.noteDetection(q)
+	p.sc.metrics.Detections++
+	p.m.noteDetection(p, q)
 	p.m.log(p.id, trace.KDetect, "", fmt.Sprintf("processor %d failed", q))
 	// Flood the announcement (§4.2 "error-detection").
 	for _, nb := range p.neighbors {
@@ -463,7 +555,7 @@ func (p *proc) RelayToTwin(res *proto.Result) {
 	}
 	fwd := *res
 	fwd.ParentTask = key
-	p.m.metrics.MsgResult++
+	p.sc.metrics.MsgResult++
 	p.m.send(proto.Msg{Type: proto.MsgResult, From: p.id, To: dest, Result: &fwd})
 }
 
@@ -514,7 +606,7 @@ func (p *proc) runPass(t *task) {
 		clear(fills)
 	}
 	if err != nil {
-		p.m.failRun(fmt.Errorf("task %v on processor %d: %w", t.pkt.Key, p.id, err))
+		p.m.failRun(p, fmt.Errorf("task %v on processor %d: %w", t.pkt.Key, p.id, err))
 		return
 	}
 	cost := int64(out.Steps)*p.m.cfg.StepCost + int64(len(out.Demands))*p.m.cfg.SpawnOverhead
@@ -527,7 +619,7 @@ func (p *proc) runPass(t *task) {
 	if cost < 1 {
 		cost = 1
 	}
-	p.m.kernel.After(sim.Time(cost), func() { p.finishPass(t, out) })
+	p.k.After(sim.Time(cost), func() { p.finishPass(t, out) })
 }
 
 // finishPass applies the outcome of a reduction pass.
@@ -538,7 +630,7 @@ func (p *proc) finishPass(t *task, out lang.Outcome) {
 		return // died or aborted mid-pass; outcome discarded
 	}
 	t.stepsSpent += int64(out.Steps)
-	p.m.metrics.StepsExecuted += int64(out.Steps)
+	p.sc.metrics.StepsExecuted += int64(out.Steps)
 	p.stepsDone += int64(out.Steps)
 	if out.Done {
 		v := out.Value
@@ -547,7 +639,7 @@ func (p *proc) finishPass(t *task, out lang.Outcome) {
 		}
 		t.value = v
 		t.state = taskReturning
-		p.m.metrics.TasksCompleted++
+		p.sc.metrics.TasksCompleted++
 		if p.m.tracing() {
 			p.m.log(p.id, trace.KComplete, t.pkt.Key.String(), v.String())
 		}
@@ -585,7 +677,7 @@ func (p *proc) spawnDemand(t *task, d lang.Demand) {
 		h.filled = true
 		h.value = v
 		t.addFill(d.ID, v)
-		p.m.metrics.Prefills++
+		p.sc.metrics.Prefills++
 		if p.m.tracing() {
 			p.m.log(p.id, trace.KPrefill, t.pkt.Key.String(), fmt.Sprintf("hole %d inherited", d.ID))
 		}
@@ -613,11 +705,11 @@ func (p *proc) spawnDemand(t *task, d lang.Demand) {
 	for r := 0; r < reps; r++ {
 		rep := t.pkt.Key.Rep
 		if reps > 1 {
-			rep = p.m.freshRep()
+			rep = p.freshRep()
 		}
 		pkt := &proto.TaskPacket{
 			Key:       proto.TaskKey{Stamp: childStamp, Rep: rep},
-			Gen:       p.m.freshGen(),
+			Gen:       p.freshGen(),
 			ParentGen: t.pkt.Gen,
 			Fn:        d.Fn,
 			Args:      d.Args,
@@ -629,13 +721,13 @@ func (p *proc) spawnDemand(t *task, d lang.Demand) {
 		pkt.Ancestors = ancestorChain(t.pkt, p.m.cfg.AncestorDepth)
 		cr := &childRef{key: pkt.Key, gen: pkt.Gen, dest: checkpoint.PendingDest}
 		h.children = append(h.children, cr)
-		p.m.metrics.TasksSpawned++
+		p.sc.metrics.TasksSpawned++
 		if p.m.tracing() {
 			p.m.log(p.id, trace.KSpawn, pkt.Key.String(), fmt.Sprintf("%s by %v", d.Fn, t.pkt.Key))
 		}
 		if !p.m.cfg.DisableCheckpoints {
 			p.store.Retain(pkt)
-			p.m.metrics.Checkpoints++
+			p.sc.metrics.Checkpoints++
 			if p.m.tracing() {
 				p.m.log(p.id, trace.KCheckpoint, pkt.Key.String(), "")
 			}
@@ -675,7 +767,7 @@ func ancestorChain(parentPkt *proto.TaskPacket, depth int) []proto.Addr {
 // effort to pick elsewhere. It returns the chosen (first-hop) destination.
 func (p *proc) route(parent *task, pkt *proto.TaskPacket, cr *childRef, avoid map[proto.ProcID]bool) proto.ProcID {
 	cr.ackTimer.Stop()
-	cr.ackTimer = p.m.kernel.After(p.m.cfg.AckTimeout, func() {
+	cr.ackTimer = p.k.After(p.m.cfg.AckTimeout, func() {
 		p.onAckTimeout(parent, pkt, cr)
 	})
 	if cr.retries >= 3 && !p.isHost {
@@ -685,7 +777,7 @@ func (p *proc) route(parent *task, pkt *proto.TaskPacket, cr *childRef, avoid ma
 		// policies re-pick it forever). Scatter uniformly among live
 		// processors instead.
 		if dest := p.randomLive(); dest != p.id {
-			p.m.metrics.MsgTask++
+			p.sc.metrics.MsgTask++
 			p.m.send(proto.Msg{Type: proto.MsgTask, From: p.id, To: dest, Task: pkt, Hops: 0})
 			return dest
 		}
@@ -704,13 +796,13 @@ func (p *proc) route(parent *task, pkt *proto.TaskPacket, cr *childRef, avoid ma
 		if p.isHost && (dest == p.id || dest == proto.HostID) {
 			dest = 0
 		}
-		p.m.metrics.MsgTask++
+		p.sc.metrics.MsgTask++
 		p.m.send(proto.Msg{Type: proto.MsgTask, From: p.id, To: dest, Task: pkt, Hops: 0})
 		return dest
 	}
 	// Hop-by-hop (gradient): the host always hands off to processor 0.
 	if p.isHost {
-		p.m.metrics.MsgTask++
+		p.sc.metrics.MsgTask++
 		p.m.send(proto.Msg{Type: proto.MsgTask, From: p.id, To: 0, Task: pkt, Hops: 0})
 		return 0
 	}
@@ -719,7 +811,7 @@ func (p *proc) route(parent *task, pkt *proto.TaskPacket, cr *childRef, avoid ma
 		p.settle(pkt)
 		return next
 	}
-	p.m.metrics.MsgTask++
+	p.sc.metrics.MsgTask++
 	p.m.send(proto.Msg{Type: proto.MsgTask, From: p.id, To: next, Task: pkt, Hops: 1})
 	return next
 }
@@ -738,7 +830,10 @@ func (p *proc) randomLive() proto.ProcID {
 	if live == 0 {
 		return p.id
 	}
-	k := p.m.kernel.Rand().Intn(live)
+	// Drawn from the processor's private stream, not the kernel's: the
+	// kernel RNG is per shard, so using it would make relay targets (and
+	// with them whole recovery schedules) depend on the shard count.
+	k := p.rng.Intn(live)
 	for i := 0; i < p.m.n; i++ {
 		if !p.faulty[i] {
 			if k == 0 {
@@ -796,7 +891,7 @@ func (p *proc) settle(pkt *proto.TaskPacket) {
 		// incumbent here would be unsound — generation order says nothing
 		// about which lineage is the live one.
 		ack.AckGen = existing.pkt.Gen
-		p.m.metrics.MsgTaskAck++
+		p.sc.metrics.MsgTaskAck++
 		p.m.send(ack)
 		return
 	}
@@ -812,7 +907,7 @@ func (p *proc) settle(pkt *proto.TaskPacket) {
 		}
 		p.m.log(p.id, trace.KPlace, pkt.Key.String(), note)
 	}
-	p.m.metrics.MsgTaskAck++
+	p.sc.metrics.MsgTaskAck++
 	p.m.send(ack)
 	p.maybeRun()
 }
@@ -826,7 +921,7 @@ func (p *proc) onTaskMsg(msg *proto.Msg) {
 	if p.m.cfg.Placement.Mode() == balance.HopByHop {
 		next := p.m.cfg.Placement.Step(p, msg.Hops)
 		if next != p.id {
-			p.m.metrics.MsgTask++
+			p.sc.metrics.MsgTask++
 			p.m.send(proto.Msg{Type: proto.MsgTask, From: p.id, To: next, Task: msg.Task, Hops: msg.Hops + 1})
 			return
 		}
@@ -902,10 +997,10 @@ func (p *proc) sendResult(t *task) {
 		Child: t.pkt.Key, ParentTask: t.pkt.Parent.Task,
 		HoleID: t.pkt.HoleID, Value: t.value,
 	}
-	p.m.metrics.MsgResult++
+	p.sc.metrics.MsgResult++
 	p.m.send(proto.Msg{Type: proto.MsgResult, From: p.id, To: dest, Result: res})
 	t.resultTimer.Stop()
-	t.resultTimer = p.m.kernel.After(p.m.cfg.ResultTimeout, func() { p.onResultTimeout(t) })
+	t.resultTimer = p.k.After(p.m.cfg.ResultTimeout, func() { p.onResultTimeout(t) })
 }
 
 // onResultTimeout: the parent never acknowledged. Retry a bounded number of
@@ -941,7 +1036,7 @@ func (p *proc) onResultMsg(msg *proto.Msg) {
 	res := msg.Result
 	t, ok := p.tasks[res.ParentTask]
 	if !ok || t.state == taskAborted {
-		p.m.metrics.LateResults++
+		p.sc.metrics.LateResults++
 		p.m.log(p.id, trace.KLateResult, res.Child.String(), "unknown addressee")
 		p.ackResult(msg.From, res.Child, false)
 		return
@@ -962,7 +1057,7 @@ func (p *proc) onResultMsg(msg *proto.Msg) {
 		return
 	}
 	if h.filled {
-		p.m.metrics.DupResults++
+		p.sc.metrics.DupResults++
 		p.m.log(p.id, trace.KDupResult, res.Child.String(), "already filled")
 		p.ackResult(msg.From, res.Child, true)
 		return
@@ -984,7 +1079,7 @@ func (p *proc) onResultMsg(msg *proto.Msg) {
 		return
 	}
 	if cr.returned {
-		p.m.metrics.DupResults++
+		p.sc.metrics.DupResults++
 		p.ackResult(msg.From, res.Child, true)
 		return
 	}
@@ -1007,18 +1102,18 @@ func (p *proc) onResultMsg(msg *proto.Msg) {
 			}
 		}
 		if mismatches > 0 {
-			p.m.metrics.VoteMismatches += int64(mismatches)
+			p.sc.metrics.VoteMismatches += int64(mismatches)
 			p.m.log(p.id, trace.KVoteMismatch, t.pkt.Key.String(),
 				fmt.Sprintf("hole %d: %d corrupt outvoted", h.id, mismatches))
 		}
-		p.m.metrics.Votes++
+		p.sc.metrics.Votes++
 		p.m.log(p.id, trace.KVote, t.pkt.Key.String(),
 			fmt.Sprintf("hole %d agreed on %s", h.id, v))
 		p.fillHole(t, h, v)
 	} else if h.returnedCount() == len(h.children) {
 		// All replicas answered without a majority (possible only with
 		// aggressive corruption): take the first answer, flagged loudly.
-		p.m.metrics.VoteMismatches++
+		p.sc.metrics.VoteMismatches++
 		p.m.log(p.id, trace.KVoteMismatch, t.pkt.Key.String(),
 			fmt.Sprintf("hole %d: no majority, taking first", h.id))
 		p.fillHole(t, h, h.children[0].vote)
@@ -1051,7 +1146,7 @@ func (p *proc) fillHole(t *task, h *holeRec, v expr.Value) {
 
 // ackResult acknowledges a result delivery.
 func (p *proc) ackResult(to proto.ProcID, child proto.TaskKey, ok bool) {
-	p.m.metrics.MsgResultAck++
+	p.sc.metrics.MsgResultAck++
 	p.m.send(proto.Msg{Type: proto.MsgResultAck, From: p.id, To: to, AckChild: child, ResultOK: ok})
 }
 
@@ -1080,7 +1175,7 @@ func (p *proc) onResultAck(msg *proto.Msg) {
 func (p *proc) onGrandResult(msg *proto.Msg) {
 	// Always acknowledge: grand results are never retried against a live
 	// processor (the rule of thumb: handle or ignore).
-	p.m.metrics.MsgResultAck++
+	p.sc.metrics.MsgResultAck++
 	p.m.send(proto.Msg{Type: proto.MsgResultAck, From: p.id, To: msg.From, AckChild: msg.Result.Child, ResultOK: true})
 	p.policy.OnGrandResult(msg.Result)
 }
@@ -1103,7 +1198,7 @@ func (p *proc) heartbeatTick() {
 		return
 	}
 	limit := p.m.cfg.HeartbeatEvery * sim.Time(p.m.cfg.HeartbeatMisses)
-	now := p.m.kernel.Now()
+	now := p.k.Now()
 	for _, nb := range p.neighbors {
 		if p.faulty[nb] {
 			continue
@@ -1112,19 +1207,19 @@ func (p *proc) heartbeatTick() {
 			p.declareFaulty(nb)
 			continue
 		}
-		p.m.metrics.MsgHeartbeat++
+		p.sc.metrics.MsgHeartbeat++
 		p.m.send(proto.Msg{Type: proto.MsgHeartbeat, From: p.id, To: nb})
 	}
-	p.hbTimer = p.m.kernel.After(p.m.cfg.HeartbeatEvery, p.hbFn)
+	p.hbTimer = p.k.After(p.m.cfg.HeartbeatEvery, p.hbFn)
 }
 
 func (p *proc) onHeartbeat(msg *proto.Msg) {
-	p.m.metrics.MsgHeartbeat++
+	p.sc.metrics.MsgHeartbeat++
 	p.m.send(proto.Msg{Type: proto.MsgHeartbeatAck, From: p.id, To: msg.From})
 }
 
 func (p *proc) onHeartbeatAck(msg *proto.Msg) {
-	p.lastHeard[msg.From] = p.m.kernel.Now()
+	p.lastHeard[msg.From] = p.k.Now()
 }
 
 // --- gradient gossip ---
@@ -1141,13 +1236,13 @@ func (p *proc) gossipTick() {
 			p.lastSentGrad = val
 			for _, nb := range p.neighbors {
 				if !p.faulty[nb] {
-					p.m.metrics.MsgLoad++
+					p.sc.metrics.MsgLoad++
 					p.m.send(proto.Msg{Type: proto.MsgLoad, From: p.id, To: nb, LoadVal: val})
 				}
 			}
 		}
 	}
-	p.gossipTimer = p.m.kernel.After(p.m.cfg.LoadGossipEvery, p.gossipFn)
+	p.gossipTimer = p.k.After(p.m.cfg.LoadGossipEvery, p.gossipFn)
 }
 
 func (p *proc) onLoad(msg *proto.Msg) {
@@ -1172,6 +1267,8 @@ func (p *proc) handle(msg *proto.Msg) {
 		p.onGrandResult(msg)
 	case proto.MsgAbort:
 		p.onAbort(msg)
+	case proto.MsgChildAbort:
+		p.onChildAbort(msg)
 	case proto.MsgFaultAnnounce:
 		p.onFaultAnnounce(msg)
 	case proto.MsgHeartbeat:
@@ -1201,21 +1298,21 @@ func (p *proc) die(announced bool) {
 		if t.state == taskAborted {
 			continue
 		}
-		p.m.metrics.TasksLost++
-		p.m.metrics.StepsWasted += t.stepsSpent
+		p.sc.metrics.TasksLost++
+		p.sc.metrics.StepsWasted += t.stepsSpent
 		t.cancelTimers()
 	}
 	if announced {
 		// The dying gasp (§1: "must voluntarily declare itself faulty").
 		for _, nb := range p.neighbors {
-			p.m.metrics.MsgFault++
+			p.sc.metrics.MsgFault++
 			p.m.send(proto.Msg{Type: proto.MsgFaultAnnounce, From: p.id, To: nb, Failed: p.id})
 		}
 		if p.id != 0 {
-			p.m.metrics.MsgFault++
+			p.sc.metrics.MsgFault++
 			p.m.send(proto.Msg{Type: proto.MsgFaultAnnounce, From: p.id, To: 0, Failed: p.id})
 		} else {
-			p.m.metrics.MsgFault++
+			p.sc.metrics.MsgFault++
 			p.m.send(proto.Msg{Type: proto.MsgFaultAnnounce, From: p.id, To: proto.HostID, Failed: p.id})
 		}
 	}

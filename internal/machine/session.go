@@ -152,7 +152,7 @@ func (s *Session) Inject(plan *faults.Plan) ([]int64, error) {
 		}
 		return stamps, nil
 	}
-	now := s.m.kernel.Now()
+	now := s.m.kern.Now()
 	for _, f := range sorted {
 		f := f
 		at := sim.Time(f.At)
@@ -160,7 +160,9 @@ func (s *Session) Inject(plan *faults.Plan) ([]int64, error) {
 			at = now
 		}
 		stamps = append(stamps, int64(at))
-		s.m.kernel.At(at, func() { s.m.inject(f) })
+		// The injection event is owned by the target processor, so it
+		// dispatches on that processor's shard.
+		s.m.kern.AtOn(at, int32(f.Proc), func() { s.m.inject(f) })
 	}
 	return stamps, nil
 }
@@ -177,18 +179,20 @@ func (s *Session) start() {
 	for _, plan := range s.pendPlans {
 		for _, f := range plan.Sorted() {
 			f := f
-			m.kernel.At(sim.Time(f.At), func() { m.inject(f) })
+			m.kern.AtOn(sim.Time(f.At), int32(f.Proc), func() { m.inject(f) })
 		}
 	}
 	s.pendPlans = nil
-	// Start periodic services with per-processor deterministic stagger.
+	// Start periodic services with per-processor deterministic stagger;
+	// every tick event is owned by its processor so it lives on the
+	// processor's shard.
 	for i, p := range m.procs {
 		p := p
 		if m.cfg.HeartbeatEvery > 0 {
-			m.kernel.At(m.cfg.HeartbeatEvery+sim.Time(i), p.heartbeatTick)
+			m.kern.AtOn(m.cfg.HeartbeatEvery+sim.Time(i), int32(i), p.heartbeatTick)
 		}
 		if m.cfg.LoadGossipEvery > 0 {
-			m.kernel.At(sim.Time(1+i%int(m.cfg.LoadGossipEvery)), p.gossipTick)
+			m.kern.AtOn(sim.Time(1+i%int(m.cfg.LoadGossipEvery)), int32(i), p.gossipTick)
 		}
 		// Seed heartbeat liveness so nobody is declared dead before the
 		// first exchange.
@@ -197,22 +201,41 @@ func (s *Session) start() {
 		}
 	}
 	if m.cfg.StateProbeEvery > 0 {
-		var probe func()
-		probe = func() {
-			m.stateSamples = append(m.stateSamples, m.sampleState())
-			m.kernel.After(m.cfg.StateProbeEvery, probe)
-		}
-		m.kernel.At(m.cfg.StateProbeEvery, probe)
+		// The probe runs as the coordinator's pacer: it fires at a window
+		// barrier every period, where reading all shards is safe, and it
+		// counts as a dispatched event exactly like the self-rescheduling
+		// probe timer it replaces.
+		m.kern.SetPacer(m.cfg.StateProbeEvery, m.cfg.StateProbeEvery, func(t sim.Time) {
+			m.stateSamples = append(m.stateSamples, m.sampleStateAt(t))
+		})
 	}
 }
 
-// admit installs the pending requests: the first admission of a batch lands
-// at the current tick (installed directly, not through a kernel event — the
-// one-shot path), later ones ArrivalEvery apart via kernel events.
+// admit installs the pending requests: admissions are grouped by arrival
+// tick and each same-tick batch becomes one host-owned kernel event that
+// installs the whole batch in submission order — one event instead of N on
+// the one-shot path, and the install runs on the host's shard where the
+// spawn bookkeeping lives. With ArrivalEvery > 0 the batch spreads into a
+// stream, one admission event per distinct arrival tick.
 func (s *Session) admit() {
 	m := s.m
+	if len(s.pendReqs) == 0 {
+		return
+	}
+	now := m.kern.Now()
+	hostOwner := m.ownerOf(proto.HostID)
+	var batch []*Req
+	var batchAt sim.Time
+	flush := func() {
+		reqs := batch
+		m.kern.AtOn(batchAt, hostOwner, func() {
+			for _, r := range reqs {
+				s.install(r)
+			}
+		})
+	}
 	for _, r := range s.pendReqs {
-		arr := m.kernel.Now()
+		arr := now
 		if s.haveArrival && s.cfg.ArrivalEvery > 0 {
 			if next := s.lastArrival + s.cfg.ArrivalEvery; next > arr {
 				arr = next
@@ -222,13 +245,14 @@ func (s *Session) admit() {
 		r.arrival = arr
 		s.outstanding++
 		s.byKey[hostKey(r.id)] = r
-		if arr == m.kernel.Now() {
-			s.install(r)
-		} else {
-			r := r
-			m.kernel.At(arr, func() { s.install(r) })
+		if len(batch) > 0 && arr != batchAt {
+			flush()
+			batch = nil
 		}
+		batchAt = arr
+		batch = append(batch, r)
 	}
+	flush()
 	s.pendReqs = nil
 }
 
@@ -261,7 +285,7 @@ func (s *Session) rootDone(key proto.TaskKey, v expr.Value) {
 		return // late completion of an already-resolved incarnation
 	}
 	r.done = true
-	r.doneAt = s.m.kernel.Now()
+	r.doneAt = s.m.host.k.Now()
 	r.answer = v
 	s.outstanding--
 	m := s.m
@@ -271,7 +295,7 @@ func (s *Session) rootDone(key proto.TaskKey, v expr.Value) {
 		m.doneAt = r.doneAt
 	}
 	m.log(proto.HostID, trace.KRootDone, "", v.String())
-	m.kernel.Stop()
+	m.host.k.Stop()
 }
 
 // Wait drives the kernel until r completes, errors, or exhausts its budget:
@@ -281,17 +305,23 @@ func (s *Session) rootDone(key proto.TaskKey, v expr.Value) {
 // stream itself continues — later submissions still run).
 func (s *Session) Wait(r *Req) {
 	m := s.m
-	s.start()
+	// Admissions are scheduled before start's fault plans, so a same-tick
+	// batch installs ahead of a fault injected at the same tick — the order
+	// the one-shot machine's direct install produced.
 	s.admit()
+	s.start()
 	deadline := r.arrival + m.cfg.Deadline
 	for {
 		if r.done || m.runErr != nil || s.finished {
 			return
 		}
-		if m.kernel.Now() >= deadline {
+		if m.kern.Now() >= deadline {
 			return
 		}
-		if m.kernel.RunUntil(deadline, m.cfg.MaxEvents) != sim.RunStopped {
+		m.segment++
+		res := m.kern.RunUntil(deadline, m.cfg.MaxEvents)
+		m.mergeRunErr()
+		if res != sim.RunStopped {
 			return // deadline, quiescent, or event budget: r did not make it
 		}
 		// Stopped: some request completed (possibly r) or the run failed;
@@ -303,7 +333,7 @@ func (s *Session) Wait(r *Req) {
 func (s *Session) Outstanding() int { return s.outstanding }
 
 // Now is the stream clock in virtual ticks.
-func (s *Session) Now() sim.Time { return s.m.kernel.Now() }
+func (s *Session) Now() sim.Time { return s.m.kern.Now() }
 
 // RunErr reports a program evaluation error, if one occurred; it poisons the
 // whole session (evaluation errors are deterministic program bugs).

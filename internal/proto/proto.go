@@ -197,6 +197,13 @@ const (
 	MsgFreeze
 	MsgFreezeAck
 	MsgResume
+	// MsgChildAbort tells a parent that a child incarnation it placed was
+	// aborted by recovery garbage collection on a live processor. Without
+	// it, an abort scope that cuts across lineages (a reissue triggered by
+	// a late failure detection) can kill a live child whose parent then
+	// waits on the hole forever; the parent answers by respawning the
+	// child from its retained checkpoint.
+	MsgChildAbort
 )
 
 var msgNames = map[MsgType]string{
@@ -205,7 +212,7 @@ var msgNames = map[MsgType]string{
 	MsgAbort: "abort", MsgFaultAnnounce: "fault-announce",
 	MsgHeartbeat: "heartbeat", MsgHeartbeatAck: "heartbeat-ack",
 	MsgLoad: "load", MsgFreeze: "freeze", MsgFreezeAck: "freeze-ack",
-	MsgResume: "resume",
+	MsgResume: "resume", MsgChildAbort: "child-abort",
 }
 
 func (t MsgType) String() string {

@@ -7,9 +7,16 @@
 // goroutines.
 //
 // The kernel is built for the hot path: dispatch order is the total order
-// (time, sequence), so the heap implementation, event recycling, and the
-// payload fast path below are pure representation choices — they cannot
-// change which event runs when.
+// Key = (time, source, sequence), so the heap implementation, event
+// recycling, and the payload fast path below are pure representation
+// choices — they cannot change which event runs when.
+//
+// The source component is what makes the order shard-stable (sharded.go):
+// sequence numbers are compared only between events scheduled by the same
+// source, and every source schedules from exactly one shard, so the total
+// order is identical at every shard count. A standalone kernel schedules
+// everything from the driver source, which collapses the key to the classic
+// (time, FIFO-sequence) order.
 package sim
 
 import (
@@ -20,20 +27,56 @@ import (
 // Time is virtual time in abstract ticks.
 type Time int64
 
+// DriverSrc is the scheduling source of everything scheduled from outside
+// event dispatch (the test driver, the session layer between runs). It
+// sorts before every owned source at equal times, so externally injected
+// events (fault plans) dispatch ahead of same-tick protocol traffic.
+const DriverSrc int32 = -1
+
+// Key is the total dispatch order of the kernel: time first, then the
+// scheduling source, then that source's own FIFO sequence. Sequence numbers
+// are only ever compared between keys with equal sources, so per-shard
+// sequence counters (sharded.go) still yield one global order.
+type Key struct {
+	At  Time
+	Src int32
+	Seq uint64
+}
+
+// Less reports whether a dispatches before b.
+func (a Key) Less(b Key) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Seq < b.Seq
+}
+
 // event is a scheduled occurrence: either a callback (fn) or a payload
 // handed to the kernel's sink. Events are pooled; gen distinguishes
 // incarnations so a Timer held across recycling can never cancel the
 // event's successor.
 type event struct {
-	at   Time
-	seq  uint64 // FIFO tie-break for equal times
-	fn   func()
-	msg  any // delivered to the sink when fn is nil
-	gen  uint64
-	dead bool // cancelled
-	k    *Kernel
-	idx  int // heap position; -1 once popped or removed
+	at    Time
+	src   int32  // scheduling source (Key.Src)
+	seq   uint64 // FIFO tie-break within one source
+	owner int32  // whose handler runs; determines the dispatching shard
+	fn    func()
+	msg   any // delivered to the sink when fn is nil
+	gen   uint64
+	dead  bool // cancelled
+	// foreign marks an event allocated for a cross-shard send. Such events
+	// live their whole life as uncancellable payloads — no Timer ever points
+	// at one — so they recycle through the shard-migrating xfree pool instead
+	// of the handle-guarded local pool.
+	foreign bool
+	k       *Kernel
+	idx     int // heap position; -1 once popped or removed
 }
+
+func (ev *event) key() Key { return Key{At: ev.at, Src: ev.src, Seq: ev.seq} }
 
 // Timer is a handle to a scheduled event that can be cancelled. The zero
 // Timer is valid and inert, so callers can keep timers by value.
@@ -67,24 +110,35 @@ func (t Timer) Active() bool {
 	return t.ev != nil && t.ev.gen == t.gen && !t.ev.dead
 }
 
-// Kernel is the event loop. It is not safe for concurrent use; the entire
-// simulation is single-threaded and deterministic.
+// Kernel is the event loop. It is not safe for concurrent use by itself: a
+// standalone kernel is the single-threaded reference implementation, and a
+// sharded ensemble (sharded.go) runs one kernel per shard with all
+// cross-shard exchange confined to coordinator barriers.
 type Kernel struct {
 	now     Time
 	seq     uint64
-	events  []*event // binary min-heap on (at, seq)
-	free    []*event // recycled events
+	cur     int32 // current scheduling source; DriverSrc outside dispatch
+	curKey  Key   // key of the event being dispatched (trace-merge tag)
+	events  []*event
+	free    []*event // recycled events (local-only; may carry stale Timer handles)
+	xfree   []*event // recycled cross-shard payload events (never any handles)
 	sink    func(any)
 	rng     *rand.Rand
 	stopped bool
 	// processed counts dispatched events, as a runaway guard and a
 	// determinism fingerprint for tests.
 	processed uint64
+
+	// Sharded-ensemble wiring; zero/nil for a standalone kernel.
+	ens    *Sharded
+	id     int        // this kernel's shard index in ens
+	winEnd Time       // exclusive end of the current lockstep window
+	out    [][]*event // cross-shard events buffered per destination shard
 }
 
 // NewKernel creates a kernel with the given RNG seed.
 func NewKernel(seed int64) *Kernel {
-	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+	return &Kernel{rng: rand.New(rand.NewSource(seed)), cur: DriverSrc}
 }
 
 // Now returns the current virtual time.
@@ -96,6 +150,11 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // Processed returns the number of events dispatched so far.
 func (k *Kernel) Processed() uint64 { return k.processed }
 
+// CurrentKey returns the dispatch key of the event currently being
+// dispatched. Shard-local trace buffers tag entries with it so the
+// coordinator can merge them into the global dispatch order.
+func (k *Kernel) CurrentKey() Key { return k.curKey }
+
 // SetSink installs the payload consumer used by AtMsg/AfterMsg. A kernel
 // serving payload events must have exactly one sink (the simulated machine's
 // message-delivery entry point); installing it once avoids a closure
@@ -103,7 +162,10 @@ func (k *Kernel) Processed() uint64 { return k.processed }
 func (k *Kernel) SetSink(fn func(any)) { k.sink = fn }
 
 // alloc takes an event from the free list (or the heap's garbage) and
-// stamps it with the next sequence number.
+// stamps it with the current source and that source's next sequence number.
+// The sequence counter is per-kernel, which is per-source enough: every
+// source schedules from exactly one kernel, so numbers stay monotone within
+// a source, and the dispatch order never compares sequences across sources.
 func (k *Kernel) alloc(t Time) *event {
 	var ev *event
 	if n := len(k.free); n > 0 {
@@ -114,7 +176,9 @@ func (k *Kernel) alloc(t Time) *event {
 		ev = &event{}
 	}
 	ev.at = t
+	ev.src = k.cur
 	ev.seq = k.seq
+	ev.owner = k.cur
 	ev.dead = false
 	ev.k = k
 	k.seq++
@@ -122,8 +186,16 @@ func (k *Kernel) alloc(t Time) *event {
 }
 
 // recycle returns a popped event to the free list. Bumping gen invalidates
-// every Timer still pointing at this incarnation.
+// every Timer still pointing at this incarnation. Foreign (cross-shard)
+// events go to the dispatching shard's xfree pool instead: nothing ever held
+// a handle to them, so they may keep migrating between shards, whereas a
+// local event must never leave the shard whose Timers may still point at it.
 func (k *Kernel) recycle(ev *event) {
+	if ev.foreign {
+		ev.msg = nil
+		k.xfree = append(k.xfree, ev)
+		return
+	}
 	ev.gen++
 	ev.fn = nil
 	ev.msg = nil
@@ -131,7 +203,9 @@ func (k *Kernel) recycle(ev *event) {
 }
 
 // At schedules fn at absolute time t (>= Now) and returns a cancellable
-// handle. Scheduling in the past panics: it is always a simulator bug.
+// handle. The event is owned by the current source, so from inside a
+// handler it always lands on the caller's own shard. Scheduling in the past
+// panics: it is always a simulator bug.
 func (k *Kernel) At(t Time, fn func()) Timer {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, k.now))
@@ -150,9 +224,10 @@ func (k *Kernel) After(d Time, fn func()) Timer {
 	return k.At(k.now+d, fn)
 }
 
-// AtMsg schedules payload delivery to the sink at absolute time t. Payload
-// events cannot be cancelled (message transit is irrevocable in the machine
-// model), which spares the Timer bookkeeping on the hottest schedule path.
+// AtMsg schedules payload delivery to the sink at absolute time t, owned by
+// the current source. Payload events cannot be cancelled (message transit
+// is irrevocable in the machine model), which spares the Timer bookkeeping
+// on the hottest schedule path.
 func (k *Kernel) AtMsg(t Time, msg any) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, k.now))
@@ -170,8 +245,58 @@ func (k *Kernel) AfterMsg(d Time, msg any) {
 	k.AtMsg(k.now+d, msg)
 }
 
+// AtMsgTo schedules payload delivery at absolute time t owned by owner —
+// the one scheduling call that may cross shards. A same-shard owner pushes
+// straight onto this kernel's heap; a foreign owner's event is buffered on
+// the per-pair queue and merged at the next coordinator barrier, which is
+// only sound when the delivery lies at or beyond the lookahead horizon
+// (the window end): violating that is a simulator bug and panics.
+func (k *Kernel) AtMsgTo(t Time, owner int32, msg any) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, k.now))
+	}
+	if k.ens != nil {
+		if dst := k.ens.home(owner); dst != k.id {
+			if t < k.winEnd {
+				panic(fmt.Sprintf("sim: cross-shard event at %d inside lookahead window ending %d", t, k.winEnd))
+			}
+			// Cross-shard events never come from the local free pool: a
+			// pooled event may still be referenced by a stale Timer on this
+			// shard, and handing it to another shard would make that Timer's
+			// generation check race with the destination's recycling. They
+			// draw from the handle-free xfree pool instead (fresh allocation
+			// when it is empty), whose events migrate shard to shard with
+			// every touch sequenced by a window barrier.
+			var ev *event
+			if n := len(k.xfree); n > 0 {
+				ev = k.xfree[n-1]
+				k.xfree[n-1] = nil
+				k.xfree = k.xfree[:n-1]
+			} else {
+				ev = &event{foreign: true}
+			}
+			ev.at = t
+			ev.src = k.cur
+			ev.seq = k.seq
+			ev.owner = owner
+			ev.msg = msg
+			ev.k = k
+			ev.idx = -1
+			k.seq++
+			k.out[dst] = append(k.out[dst], ev)
+			return
+		}
+	}
+	ev := k.alloc(t)
+	ev.owner = owner
+	ev.msg = msg
+	k.push(ev)
+}
+
 // Stop makes Run return after the current event completes. Pending events
-// remain queued (they are simply never dispatched).
+// remain queued (they are simply never dispatched). Under a sharded
+// ensemble the flag is honoured at the end of the lockstep window — the
+// same boundary at every shard count, including one.
 func (k *Kernel) Stop() { k.stopped = true }
 
 // Pending reports the number of live (non-cancelled) queued events.
@@ -185,17 +310,34 @@ func (k *Kernel) Pending() int {
 	return n
 }
 
-// less orders events by (time, sequence) — a total order, since sequence
-// numbers are unique, so dispatch order is independent of the heap shape.
+// peek returns the earliest live event time, discarding dead heap tops.
+func (k *Kernel) peek() (Time, bool) {
+	for len(k.events) > 0 {
+		next := k.events[0]
+		if next.dead {
+			k.recycle(k.pop())
+			continue
+		}
+		return next.at, true
+	}
+	return 0, false
+}
+
+// less orders events by Key — a total order, since sequence numbers are
+// unique within a source, so dispatch order is independent of heap shape.
 func less(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
 	}
 	return a.seq < b.seq
 }
 
 // push inserts an event into the heap.
 func (k *Kernel) push(ev *event) {
+	ev.k = k
 	k.events = append(k.events, ev)
 	ev.idx = len(k.events) - 1
 	k.siftUp(ev.idx)
@@ -271,9 +413,13 @@ func (k *Kernel) siftDown(i int) {
 	}
 }
 
-// dispatch runs one popped event and recycles it.
+// dispatch runs one popped event and recycles it. The dispatching source
+// becomes the event's owner, so everything the handler schedules is
+// attributed to (and stays on the shard of) the code that is running.
 func (k *Kernel) dispatch(ev *event) {
 	k.now = ev.at
+	k.cur = ev.owner
+	k.curKey = ev.key()
 	fn, msg := ev.fn, ev.msg
 	k.processed++
 	if fn != nil {
@@ -285,10 +431,11 @@ func (k *Kernel) dispatch(ev *event) {
 	k.sink(msg)
 }
 
-// Run dispatches events in (time, seq) order until the queue is empty,
-// Stop is called, or maxEvents events have been processed (0 = unlimited).
+// Run dispatches events in Key order until the queue is empty, Stop is
+// called, or maxEvents events have been processed (0 = unlimited).
 // It returns the reason the loop ended.
 func (k *Kernel) Run(maxEvents uint64) RunResult {
+	defer func() { k.cur = DriverSrc }()
 	k.stopped = false
 	dispatched := uint64(0)
 	for len(k.events) > 0 {
@@ -319,6 +466,7 @@ func (k *Kernel) Run(maxEvents uint64) RunResult {
 // Events beyond the deadline stay queued; Now advances to at most deadline.
 // maxEvents bounds the number of dispatched events (0 = unlimited).
 func (k *Kernel) RunUntil(deadline Time, maxEvents uint64) RunResult {
+	defer func() { k.cur = DriverSrc }()
 	k.stopped = false
 	dispatched := uint64(0)
 	for len(k.events) > 0 {
@@ -349,6 +497,29 @@ func (k *Kernel) RunUntil(deadline Time, maxEvents uint64) RunResult {
 		return RunStopped
 	}
 	return RunQuiescent
+}
+
+// runWindow dispatches every live event with at < winEnd, ignoring the stop
+// flag (a lockstep window always completes; the coordinator honours stops
+// at the barrier). It returns the number of events dispatched. Now is left
+// at the last dispatched event; the coordinator owns inter-window time.
+func (k *Kernel) runWindow(winEnd Time) uint64 {
+	k.winEnd = winEnd
+	dispatched := uint64(0)
+	for len(k.events) > 0 {
+		next := k.events[0]
+		if next.dead {
+			k.recycle(k.pop())
+			continue
+		}
+		if next.at >= winEnd {
+			break
+		}
+		dispatched++
+		k.dispatch(k.pop())
+	}
+	k.cur = DriverSrc
+	return dispatched
 }
 
 // RunResult says why a Run call returned.

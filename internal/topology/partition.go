@@ -1,0 +1,177 @@
+package topology
+
+// Partition cuts a topology into at most `shards` connected regions of
+// near-equal size, deterministically: same topology, same shard count →
+// same regions, with no dependence on map iteration or randomness. The
+// sharded simulation kernel pins every processor to its region's shard and
+// uses the minimum inter-region hop distance as the conservative lookahead
+// horizon, so the partition quality bounds both load balance and how much
+// virtual time the shards may run unsynchronized.
+//
+// The construction is farthest-point seeding followed by balanced
+// multi-source BFS growth:
+//
+//  1. Region 0 is seeded at node 0; each further region is seeded at the
+//     node maximizing the hop distance to all previous seeds (ties to the
+//     lowest node id), which spreads regions across the diameter.
+//  2. Regions grow in round-robin turns, each turn claiming the lowest
+//     unclaimed neighbor of the region's BFS frontier, until the region
+//     reaches the balanced capacity ceil(n/k) or its frontier is exhausted.
+//  3. Any nodes left stranded by capacity limits join the smallest
+//     adjacent region (ties to the lowest region id), preserving
+//     connectedness.
+func Partition(t Topology, shards int) *Regions {
+	n := t.Size()
+	k := shards
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	r := &Regions{Shards: k, Region: make([]int32, n), Sizes: make([]int, k)}
+	if k == 1 {
+		r.Sizes[0] = n
+		return r
+	}
+
+	// Farthest-point seeds. minDist[v] tracks the hop distance from v to
+	// the nearest chosen seed, via the topology's precomputed tables.
+	seeds := make([]NodeID, 1, k)
+	seeds[0] = 0
+	minDist := make([]int, n)
+	for v := range minDist {
+		minDist[v] = t.Dist(0, NodeID(v))
+	}
+	for len(seeds) < k {
+		best, bestDist := NodeID(-1), -1
+		for v := 0; v < n; v++ {
+			if minDist[v] > bestDist {
+				best, bestDist = NodeID(v), minDist[v]
+			}
+		}
+		seeds = append(seeds, best)
+		for v := 0; v < n; v++ {
+			if d := t.Dist(best, NodeID(v)); d < minDist[v] {
+				minDist[v] = d
+			}
+		}
+	}
+
+	// Balanced BFS growth from the seeds.
+	const unassigned = int32(-1)
+	for v := range r.Region {
+		r.Region[v] = unassigned
+	}
+	capacity := (n + k - 1) / k
+	queues := make([][]NodeID, k)
+	heads := make([]int, k)
+	for i, s := range seeds {
+		r.Region[s] = int32(i)
+		r.Sizes[i]++
+		queues[i] = append(queues[i], s)
+	}
+	assigned := k
+	for assigned < n {
+		progress := false
+		for i := 0; i < k && assigned < n; i++ {
+			if r.Sizes[i] >= capacity {
+				continue
+			}
+			for heads[i] < len(queues[i]) {
+				v := queues[i][heads[i]]
+				claimed := false
+				for _, u := range t.Neighbors(v) {
+					if r.Region[u] == unassigned {
+						r.Region[u] = int32(i)
+						r.Sizes[i]++
+						queues[i] = append(queues[i], u)
+						assigned++
+						claimed = true
+						break
+					}
+				}
+				if claimed {
+					progress = true
+					break
+				}
+				heads[i]++
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+
+	// Stranded nodes (regions hit capacity around them) join the smallest
+	// adjacent region. The graph is connected, so this terminates.
+	for assigned < n {
+		for v := 0; v < n; v++ {
+			if r.Region[v] != unassigned {
+				continue
+			}
+			best := int32(-1)
+			for _, u := range t.Neighbors(NodeID(v)) {
+				g := r.Region[u]
+				if g == unassigned {
+					continue
+				}
+				if best < 0 || r.Sizes[g] < r.Sizes[best] ||
+					(r.Sizes[g] == r.Sizes[best] && g < best) {
+					best = g
+				}
+			}
+			if best >= 0 {
+				r.Region[v] = best
+				r.Sizes[best]++
+				assigned++
+			}
+		}
+	}
+
+	r.MinInterHop = minInterHop(t, r.Region)
+	return r
+}
+
+// Regions is a deterministic partition of a topology into connected
+// regions, one simulation shard each.
+type Regions struct {
+	// Shards is the number of regions actually produced (≤ requested, ≥ 1).
+	Shards int
+	// Region maps each node to its region index.
+	Region []int32
+	// Sizes is the node count per region.
+	Sizes []int
+	// MinInterHop is the minimum hop distance between any two nodes in
+	// different regions — the safe lookahead bound for conservative
+	// synchronization. It is 0 when there is a single region (no
+	// cross-region traffic to bound).
+	MinInterHop int
+}
+
+// minInterHop finds the smallest hop distance crossing a region boundary.
+// Any crossing edge settles it at 1; the quadratic fallback only runs for
+// partitions with no adjacent cross-region pair (possible only for
+// single-region partitions, where the answer is 0 by convention).
+func minInterHop(t Topology, region []int32) int {
+	n := t.Size()
+	for v := 0; v < n; v++ {
+		for _, u := range t.Neighbors(NodeID(v)) {
+			if region[u] != region[v] {
+				return 1
+			}
+		}
+	}
+	min := 0
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if region[a] == region[b] {
+				continue
+			}
+			if d := t.Dist(NodeID(a), NodeID(b)); min == 0 || d < min {
+				min = d
+			}
+		}
+	}
+	return min
+}

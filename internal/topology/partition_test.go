@@ -1,0 +1,193 @@
+package topology
+
+import (
+	"fmt"
+	"testing"
+)
+
+// partitionCases pairs every ByName kind with sizes that exercise the
+// interesting regimes: non-square mesh factorizations, power-of-two
+// hypercubes, cut-vertex-heavy trees, and the seeded random-regular sample.
+var partitionCases = []struct {
+	kind string
+	n    int
+}{
+	{"mesh", 16}, {"mesh", 36}, {"mesh", 64},
+	{"torus", 36}, {"torus", 64},
+	{"ring", 16}, {"ring", 33},
+	{"hypercube", 16}, {"hypercube", 64},
+	{"tree", 15}, {"tree", 31},
+	{"regular", 24}, {"regular", 64},
+	{"star", 17},
+	{"complete", 12},
+}
+
+var partitionShardCounts = []int{1, 2, 3, 4, 8}
+
+// regionConnected verifies region g induces a connected subgraph: a BFS from
+// one member restricted to same-region edges must reach every member.
+func regionConnected(t Topology, region []int32, g int32) bool {
+	var start NodeID = -1
+	total := 0
+	for v, rg := range region {
+		if rg == g {
+			total++
+			if start < 0 {
+				start = NodeID(v)
+			}
+		}
+	}
+	if total == 0 {
+		return false
+	}
+	seen := map[NodeID]bool{start: true}
+	queue := []NodeID{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range t.Neighbors(v) {
+			if region[u] == g && !seen[u] {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return len(seen) == total
+}
+
+// TestPartitionConnected checks the structural invariants on every kind and
+// shard count: every node assigned to exactly one in-range region, every
+// region non-empty and connected, and sizes consistent with the assignment.
+func TestPartitionConnected(t *testing.T) {
+	for _, c := range partitionCases {
+		topo, err := ByName(c.kind, c.n)
+		if err != nil {
+			t.Fatalf("%s/%d: %v", c.kind, c.n, err)
+		}
+		for _, shards := range partitionShardCounts {
+			name := fmt.Sprintf("%s-%d/shards=%d", c.kind, c.n, shards)
+			r := Partition(topo, shards)
+			if r.Shards < 1 || r.Shards > shards || r.Shards > c.n {
+				t.Fatalf("%s: produced %d regions", name, r.Shards)
+			}
+			if len(r.Region) != c.n {
+				t.Fatalf("%s: region map covers %d of %d nodes", name, len(r.Region), c.n)
+			}
+			sizes := make([]int, r.Shards)
+			for v, g := range r.Region {
+				if g < 0 || int(g) >= r.Shards {
+					t.Fatalf("%s: node %d in out-of-range region %d", name, v, g)
+				}
+				sizes[g]++
+			}
+			for g := 0; g < r.Shards; g++ {
+				if sizes[g] != r.Sizes[g] {
+					t.Fatalf("%s: region %d size mismatch: counted %d, reported %d", name, g, sizes[g], r.Sizes[g])
+				}
+				if sizes[g] == 0 {
+					t.Fatalf("%s: region %d is empty", name, g)
+				}
+				if !regionConnected(topo, r.Region, int32(g)) {
+					t.Fatalf("%s: region %d is disconnected", name, g)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionDeterministic requires the same topology and shard count to
+// produce the identical assignment on every call — including across fresh
+// topology constructions, which is what makes a sharded run reproducible
+// from its config alone.
+func TestPartitionDeterministic(t *testing.T) {
+	for _, c := range partitionCases {
+		for _, shards := range partitionShardCounts {
+			a, err := ByName(c.kind, c.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ByName(c.kind, c.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ra, rb := Partition(a, shards), Partition(b, shards)
+			if ra.Shards != rb.Shards || ra.MinInterHop != rb.MinInterHop {
+				t.Fatalf("%s-%d/shards=%d: shape diverged across constructions", c.kind, c.n, shards)
+			}
+			for v := range ra.Region {
+				if ra.Region[v] != rb.Region[v] {
+					t.Fatalf("%s-%d/shards=%d: node %d assigned to %d then %d",
+						c.kind, c.n, shards, v, ra.Region[v], rb.Region[v])
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionRandomRegularSeeds checks the seeded irregular family: for
+// each generator seed the partition is valid and deterministic, and distinct
+// seeds are each internally reproducible (two graphs built from the same
+// seed partition identically).
+func TestPartitionRandomRegularSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		a, err := RandomRegular(32, 4, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := RandomRegular(32, 4, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, shards := range partitionShardCounts {
+			ra, rb := Partition(a, shards), Partition(b, shards)
+			for v := range ra.Region {
+				if ra.Region[v] != rb.Region[v] {
+					t.Fatalf("seed %d shards=%d: node %d assignment not reproducible", seed, shards, v)
+				}
+			}
+			for g := 0; g < ra.Shards; g++ {
+				if !regionConnected(a, ra.Region, int32(g)) {
+					t.Fatalf("seed %d shards=%d: region %d disconnected", seed, shards, g)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionMinInterHop pins the lookahead bound: MinInterHop must be a
+// true lower bound on the hop distance between any two nodes in different
+// regions (the property conservative synchronization relies on), at least 1
+// for any real multi-region split, and 0 by convention for one region.
+// Random-regular and hypercube — the kinds with the least locality, where a
+// bad partition would most easily break the bound — are in partitionCases.
+func TestPartitionMinInterHop(t *testing.T) {
+	for _, c := range partitionCases {
+		topo, err := ByName(c.kind, c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range partitionShardCounts {
+			r := Partition(topo, shards)
+			if r.Shards == 1 {
+				if r.MinInterHop != 0 {
+					t.Fatalf("%s-%d: single region MinInterHop = %d, want 0", c.kind, c.n, r.MinInterHop)
+				}
+				continue
+			}
+			if r.MinInterHop < 1 {
+				t.Fatalf("%s-%d/shards=%d: MinInterHop = %d, want >= 1", c.kind, c.n, shards, r.MinInterHop)
+			}
+			for a := 0; a < c.n; a++ {
+				for b := a + 1; b < c.n; b++ {
+					if r.Region[a] == r.Region[b] {
+						continue
+					}
+					if d := topo.Dist(NodeID(a), NodeID(b)); d < r.MinInterHop {
+						t.Fatalf("%s-%d/shards=%d: nodes %d,%d in different regions at distance %d < MinInterHop %d",
+							c.kind, c.n, shards, a, b, d, r.MinInterHop)
+					}
+				}
+			}
+		}
+	}
+}
