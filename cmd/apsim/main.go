@@ -15,6 +15,7 @@
 //	apsim -workload nqueens:6 -recovery splice -fault 2@3000 -trace
 //	apsim -workload tree:4,6 -recovery rollback -fault 1@2000,5@6000s
 //	apsim -workload fib:12 -requests 32 -every 100 -fault 2@4000,5@6000
+//	apsim -workload fib:12 -requests 32 -arrive poisson:0.02 -max-inflight 16 -admission shed
 //	apsim -workload fib:12 -requests 32 -backend live -fault 2@4000
 //	apsim -workload fib:13 -procs 64 -recovery rollback -cpuprofile cpu.out -memprofile mem.out
 //
@@ -23,6 +24,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -59,6 +61,9 @@ func main() {
 		shards    = flag.Int("shards", 1, "simulation kernel shards (sim backend; 0 or negative = GOMAXPROCS); results are byte-identical at every count")
 		requests  = flag.Int("requests", 0, "service mode: serve N copies of the workload through one open cluster (0 = one-shot)")
 		every     = flag.Int64("every", 0, "service mode: admit requests this many virtual ticks apart on the sim stream clock (0 = all at once)")
+		arrive    = flag.String("arrive", "", `service mode: seeded arrival process on the sim stream clock — poisson:RATE, uniform:GAP or burst:SIZE:GAP (the "arrive:" prefix is optional; overrides -every)`)
+		inflight  = flag.Int("max-inflight", 0, "service mode: bound on concurrently admitted requests (0 = unbounded)")
+		admission = flag.String("admission", "", "service mode: what to do with requests over the -max-inflight bound — queue (default) or shed")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (profile with `go tool pprof`)")
 		memProf   = flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	)
@@ -124,6 +129,15 @@ func main() {
 	}
 	if *requests > 0 {
 		cfg.ArrivalEvery = *every
+		if *arrive != "" {
+			spec := *arrive
+			if !strings.HasPrefix(spec, "arrive:") {
+				spec = "arrive:" + spec
+			}
+			cfg.Arrival = spec
+		}
+		cfg.MaxInFlight = *inflight
+		cfg.Admission = *admission
 		serve(*backend, cfg, w, plan, *requests)
 		return
 	}
@@ -198,9 +212,14 @@ func serve(backend string, cfg core.Config, w core.Workload, plan *faults.Plan, 
 			fatal(err)
 		}
 	}
-	verified, timeouts := 0, 0
+	verified, timeouts, shed := 0, 0, 0
 	for i, tk := range tickets {
 		rep, err := tk.Wait()
+		if errors.Is(err, core.ErrShed) {
+			// Admission control rejected it: data, not a failure.
+			shed++
+			continue
+		}
 		if err != nil {
 			fatal(fmt.Errorf("request %d: %w", i, err))
 		}
@@ -221,6 +240,9 @@ func serve(backend string, cfg core.Config, w core.Workload, plan *faults.Plan, 
 	fmt.Printf("reference  : %d/%d answers match the sequential reference evaluator", verified, n)
 	if timeouts > 0 {
 		fmt.Printf(" (%d timed out)", timeouts)
+	}
+	if shed > 0 {
+		fmt.Printf(" (%d shed by admission control)", shed)
 	}
 	fmt.Println()
 }

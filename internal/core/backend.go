@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -72,7 +73,23 @@ type Report struct {
 	// substrate is shared, so those totals live on the stream's
 	// ServiceReport — while Makespan is the request's own service latency.
 	ArrivedAt, DoneAt int64
+	// Shed marks a per-request report whose request admission control
+	// rejected (Config.MaxInFlight with the "shed" policy): never admitted,
+	// Completed false, ArrivedAt the offer stamp. The request's Wait also
+	// returns ErrShed.
+	Shed bool
+	// QueueDepthMax, on a session's aggregate (Close) report, is the
+	// admission queue's high-water mark over the stream ("queue" policy;
+	// always 0 with "shed" or unbounded admission).
+	QueueDepthMax int
 }
+
+// ErrShed is the typed error SessionRequest.Wait (and Ticket.Wait) return
+// for a request that bounded admission rejected under the "shed" policy.
+// Shedding is an expected outcome of an overloaded stream, not a substrate
+// failure: Drain does not surface it, and the service report counts shed
+// requests in their own column.
+var ErrShed = errors.New("core: request shed by admission control")
 
 // Backend is one execution substrate for the applicative machine: the
 // discrete-event simulator, the live goroutine network, or anything else
@@ -203,7 +220,10 @@ func (simBackend) Name() string { return "sim" }
 // machine's session drives through the byte-identical event sequence of the
 // old one-shot path.
 func (simBackend) Run(cfg Config, w Workload, plan *faults.Plan) (*Report, error) {
-	s := newSimSession(cfg)
+	s, err := newSimSession(cfg)
+	if err != nil {
+		return nil, err
+	}
 	sr, err := s.Submit(w)
 	if err != nil {
 		return nil, err
@@ -224,9 +244,10 @@ func (simBackend) Run(cfg Config, w Workload, plan *faults.Plan) (*Report, error
 }
 
 // Open implements SessionBackend: a long-lived simulator session serving a
-// request stream on one event kernel.
+// request stream on one event kernel. Arrival and admission specs validate
+// here, so a malformed spec fails the Open, not the first request.
 func (simBackend) Open(cfg Config) (Session, error) {
-	return newSimSession(cfg), nil
+	return newSimSession(cfg)
 }
 
 // VerifyOn runs the workload on the named backend and checks the answer

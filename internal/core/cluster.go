@@ -138,15 +138,16 @@ func (c *Cluster) Inject(plan *FaultPlan) error {
 }
 
 // Drain waits for every submitted request and returns the first submission
-// or stream error (requests that merely timed out are not errors; they
-// count as failed in the service report).
+// or stream error. Requests that merely timed out are not errors, and
+// neither are shed ones — both are expected outcomes of a loaded stream
+// and count in the service report's Failed and Shed columns instead.
 func (c *Cluster) Drain() error {
 	c.mu.Lock()
 	tickets := append([]*Ticket(nil), c.tickets...)
 	c.mu.Unlock()
 	var firstErr error
 	for _, t := range tickets {
-		if _, err := t.Wait(); err != nil && firstErr == nil {
+		if _, err := t.Wait(); err != nil && !errors.Is(err, ErrShed) && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -186,6 +187,7 @@ func (c *Cluster) buildServiceReportLocked(totals *Report) *ServiceReport {
 		Backend:     c.backend,
 		Unit:        c.unit,
 		Requests:    len(c.tickets),
+		Offered:     len(c.tickets),
 		FaultStamps: append([]int64(nil), c.stamps...),
 		Totals:      totals,
 	}
@@ -198,6 +200,7 @@ func (c *Cluster) buildServiceReportLocked(totals *Report) *ServiceReport {
 		sr.Reissued = totals.Reissued
 		sr.Drained = totals.Drained
 		sr.Recoveries = totals.Recoveries
+		sr.QueueDepthMax = totals.QueueDepthMax
 	}
 	sort.Slice(sr.FaultStamps, func(i, j int) bool { return sr.FaultStamps[i] < sr.FaultStamps[j] })
 	var latencies []int64
@@ -205,9 +208,17 @@ func (c *Cluster) buildServiceReportLocked(totals *Report) *ServiceReport {
 	for _, t := range c.tickets {
 		rep, err := t.Wait()
 		if err != nil || rep == nil || rep.Err != nil || !rep.Completed {
-			sr.Failed++
-			if rep != nil {
-				sr.PerRequest = append(sr.PerRequest, rep)
+			// Every offered request gets a row, even the ones that never
+			// produced a report (submission errors): the counters below must
+			// reconcile against the rows.
+			if rep == nil {
+				rep = &Report{Backend: c.backend, Unit: c.unit, Request: -1, Err: err}
+			}
+			sr.PerRequest = append(sr.PerRequest, rep)
+			if errors.Is(err, ErrShed) || rep.Shed {
+				sr.Shed++
+			} else {
+				sr.Failed++
 			}
 			continue
 		}
@@ -233,6 +244,7 @@ func (c *Cluster) buildServiceReportLocked(totals *Report) *ServiceReport {
 			sr.OutsideRecovery++
 		}
 	}
+	sr.Admitted = sr.Offered - sr.Shed
 	sort.Slice(sr.PerRequest, func(i, j int) bool {
 		a, b := sr.PerRequest[i], sr.PerRequest[j]
 		if a.Request != b.Request {
@@ -285,9 +297,20 @@ type ServiceReport struct {
 	Scheme, Placement string
 
 	// Requests counts submissions; Completed the requests that finished with
-	// an answer inside their budget; Failed the rest (submission errors,
-	// evaluation errors, timeouts).
+	// an answer inside their budget; Failed the admitted rest (submission
+	// errors, evaluation errors, timeouts).
 	Requests, Completed, Failed int
+
+	// Admission accounting. Offered equals Requests (every submission is an
+	// offer); Shed counts offers bounded admission rejected; Admitted is
+	// Offered − Shed. The ledger always reconciles:
+	//
+	//	Offered  = Admitted + Shed
+	//	Admitted = Completed + Failed
+	//
+	// QueueDepthMax is the admission queue's high-water mark ("queue"
+	// policy; 0 with "shed" or unbounded admission).
+	Offered, Admitted, Shed, QueueDepthMax int
 
 	// Span is the stream time from the first completed request's admission
 	// to the last completion; Throughput is Completed per 1e6 units of Span.
@@ -323,14 +346,19 @@ func (sr *ServiceReport) ThroughputLabel() string {
 }
 
 // Render is the deterministic textual form of the report: the header, the
-// stream aggregates, and one line per request. Tests compare these bytes to
-// assert the sequential and concurrent submission schedules are identical.
+// stream aggregates, and one line per offered request — completed, timed
+// out, shed, and errored requests all get a row, so the admission ledger
+// printed above them can be checked against the rows by eye. Tests compare
+// these bytes to assert the sequential and concurrent submission schedules
+// are identical.
 func (sr *ServiceReport) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "service stream on %s: %d procs, %s/%s\n",
 		sr.Backend, sr.Procs, sr.Scheme, sr.Placement)
 	fmt.Fprintf(&b, "requests   : %d submitted, %d completed, %d failed\n",
 		sr.Requests, sr.Completed, sr.Failed)
+	fmt.Fprintf(&b, "admission  : %d offered = %d admitted + %d shed (queue depth max %d)\n",
+		sr.Offered, sr.Admitted, sr.Shed, sr.QueueDepthMax)
 	fmt.Fprintf(&b, "stream     : span %d %s, throughput %.3f %s\n",
 		sr.Span, sr.Unit, sr.Throughput, sr.ThroughputLabel())
 	fmt.Fprintf(&b, "latency    : mean %d, p50 %d, p99 %d (%s)\n",
@@ -340,16 +368,17 @@ func (sr *ServiceReport) Render() string {
 	fmt.Fprintf(&b, "counters   : %d messages, %d spawned, %d reissued, %d drained, %d recoveries\n",
 		sr.Messages, sr.Spawned, sr.Reissued, sr.Drained, sr.Recoveries)
 	for _, rep := range sr.PerRequest {
-		label := rep.Answer
-		status := "ok"
-		if !rep.Completed {
+		status := "ok " + fmt.Sprint(rep.Answer)
+		switch {
+		case rep.Shed:
+			status = "shed"
+		case rep.Err != nil:
+			status = "error: " + rep.Err.Error()
+		case !rep.Completed:
 			status = "timeout"
 		}
-		if rep.Err != nil {
-			status = "error: " + rep.Err.Error()
-		}
-		fmt.Fprintf(&b, "  req %-3d arrived %-8d done %-8d latency %-8d %s %v\n",
-			rep.Request, rep.ArrivedAt, rep.DoneAt, rep.Makespan, status, label)
+		fmt.Fprintf(&b, "  req %-3d arrived %-8d done %-8d latency %-8d %s\n",
+			rep.Request, rep.ArrivedAt, rep.DoneAt, rep.Makespan, status)
 	}
 	return b.String()
 }

@@ -91,6 +91,48 @@ type Config struct {
 	// live network admits requests when Submit is called — real time needs
 	// no synthetic spacing — so the field is sim-only.
 	ArrivalEvery int64
+	// Arrival names an open-loop arrival process for service mode —
+	// "arrive:poisson:RATE", "arrive:uniform:GAP" or "arrive:burst:SIZE:GAP"
+	// (workload.ParseArrival) — seeded by Seed: request i of the stream is
+	// offered at the schedule's i-th offset on the simulator's stream clock,
+	// overriding ArrivalEvery. Like ArrivalEvery it is sim-only and inert on
+	// the live network, whose arrival discipline is real time; live load
+	// drivers pace their Submit calls from the same workload.Arrival
+	// schedule instead.
+	Arrival string
+	// MaxInFlight bounds concurrently admitted service-mode requests on
+	// both backends (0 = unbounded). Offers that find every slot busy
+	// follow Admission.
+	MaxInFlight int
+	// Admission is the full-cluster policy when MaxInFlight is reached:
+	// "queue" (the default — FIFO, each completion admits the head) or
+	// "shed" (reject outright; the ticket's Wait returns ErrShed).
+	Admission string
+}
+
+// admissionPolicy validates Config.Admission and maps it to the machine's
+// policy; both backends share it so their vocabularies can never drift.
+func (c Config) admissionPolicy() (machine.AdmissionPolicy, error) {
+	switch c.Admission {
+	case "", "queue":
+		return machine.AdmitQueue, nil
+	case "shed":
+		return machine.AdmitShed, nil
+	}
+	return 0, fmt.Errorf("core: unknown admission policy %q (queue, shed)", c.Admission)
+}
+
+// arrival validates Config.Arrival, returning nil when no open-loop
+// process is configured.
+func (c Config) arrival() (*workload.Arrival, error) {
+	if c.Arrival == "" {
+		return nil, nil
+	}
+	a, err := workload.ParseArrival(c.Arrival)
+	if err != nil {
+		return nil, err
+	}
+	return &a, nil
 }
 
 // DefaultShards is the process-wide shard count used when Config.Shards is
@@ -134,6 +176,11 @@ func StandardWorkload(spec string) (Workload, error) {
 func standardWorkload(spec string) (Workload, error) {
 	if strings.HasPrefix(spec, "shape:") {
 		return shapeWorkload(spec)
+	}
+	if workload.IsArrivalSpec(spec) {
+		// A common mix-up: arrival specs shape *when* requests arrive, not
+		// what they compute.
+		return Workload{}, fmt.Errorf("core: %q is an arrival spec, not a workload — set Config.Arrival (CLI: -arrive)", spec)
 	}
 	var a, b, c int64
 	n, err := fmt.Sscanf(spec, "fib:%d", &a)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // simSession adapts machine.Session to the core Session interface. The
@@ -36,6 +37,11 @@ import (
 type simSession struct {
 	mu  sync.Mutex
 	cfg Config
+
+	// arrival and admission are the validated service knobs (newSimSession
+	// rejects malformed specs before any request exists).
+	arrival   *workload.Arrival
+	admission machine.AdmissionPolicy
 
 	m  *machine.Machine
 	ms *machine.Session
@@ -65,8 +71,16 @@ type simRequest struct {
 	ch       chan struct{}
 }
 
-func newSimSession(cfg Config) *simSession {
-	return &simSession{cfg: cfg}
+func newSimSession(cfg Config) (*simSession, error) {
+	arr, err := cfg.arrival()
+	if err != nil {
+		return nil, err
+	}
+	pol, err := cfg.admissionPolicy()
+	if err != nil {
+		return nil, err
+	}
+	return &simSession{cfg: cfg, arrival: arr, admission: pol}, nil
 }
 
 // Unit implements Session.
@@ -177,7 +191,7 @@ func (s *simSession) flushLocked() error {
 			}
 			return err
 		}
-		ms, err := m.Serve(machine.ServeConfig{ArrivalEvery: sim.Time(s.cfg.ArrivalEvery)})
+		ms, err := m.Serve(s.serveConfig())
 		if err != nil {
 			s.broken = err
 			for _, r := range batch {
@@ -212,6 +226,34 @@ func (s *simSession) flushLocked() error {
 	return firstErr
 }
 
+// serveConfig maps the core config to the machine's service knobs. An
+// Arrival spec materializes its seeded schedule lazily, one offset per
+// stream index; the machine assigns indices in canonical admission order,
+// so the schedule is a pure function of (spec, seed) — identical at every
+// shard count and under any Submit interleaving.
+func (s *simSession) serveConfig() machine.ServeConfig {
+	sc := machine.ServeConfig{
+		ArrivalEvery: sim.Time(s.cfg.ArrivalEvery),
+		MaxInFlight:  s.cfg.MaxInFlight,
+		Admission:    s.admission,
+	}
+	if s.arrival != nil {
+		seed := s.cfg.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		next := s.arrival.Next(seed)
+		var sched []int64
+		sc.NextArrival = func(i int) sim.Time {
+			for len(sched) <= i {
+				sched = append(sched, next())
+			}
+			return sim.Time(sched[i])
+		}
+	}
+	return sc
+}
+
 // fail resolves a request with an error.
 func (r *simRequest) fail(err error) {
 	if r.resolved {
@@ -232,12 +274,30 @@ func (r *simRequest) succeed(rep *Report) {
 	close(r.ch)
 }
 
-// harvestLocked resolves every request whose completion the last drive
-// passed, whoever was driving.
+// shed resolves a request admission control rejected: the per-request
+// report carries the Shed marker and the Wait error is the typed ErrShed.
+func (r *simRequest) shedResolve(rep *Report) {
+	if r.resolved {
+		return
+	}
+	r.resolved = true
+	r.rep = rep
+	r.err = ErrShed
+	close(r.ch)
+}
+
+// harvestLocked resolves every request whose completion (or shed decision)
+// the last drive passed, whoever was driving.
 func (s *simSession) harvestLocked() {
 	for _, r := range s.all {
-		if !r.resolved && r.mr != nil && r.mr.Done() {
+		if r.resolved || r.mr == nil {
+			continue
+		}
+		switch {
+		case r.mr.Done():
 			r.succeed(s.requestReport(r))
+		case r.mr.Shed():
+			r.shedResolve(s.requestReport(r))
 		}
 	}
 }
@@ -257,12 +317,18 @@ func (s *simSession) requestReport(r *simRequest) *Report {
 		ArrivedAt: int64(mr.Arrival()),
 		Err:       s.ms.RunErr(),
 	}
-	if mr.Done() {
+	switch {
+	case mr.Done():
 		rep.Completed = true
 		rep.Answer = mr.Answer()
 		rep.DoneAt = int64(mr.DoneAt())
 		rep.Makespan = int64(mr.DoneAt() - mr.Arrival())
-	} else {
+	case mr.Shed():
+		// Never admitted: the arrival stamp is the offer tick and no stream
+		// time was spent serving it.
+		rep.Shed = true
+		rep.Makespan = 0
+	default:
 		rep.Makespan = int64(s.ms.Now() - mr.Arrival())
 	}
 	return rep
@@ -339,24 +405,26 @@ func (s *simSession) Close() (*Report, error) {
 		s.closeRep = &Report{Backend: "sim", Unit: Ticks}
 		return s.closeRep, nil
 	}
+	queueMax := s.ms.QueueDepthMax()
 	mrep := s.ms.Finish()
 	n := mrep.NeutralCounts()
 	s.closeRep = &Report{
-		Backend:    "sim",
-		Answer:     mrep.Answer,
-		Completed:  mrep.Completed,
-		Err:        mrep.Err,
-		Makespan:   int64(mrep.Makespan),
-		Unit:       Ticks,
-		Messages:   n.Messages,
-		Spawned:    n.Spawned,
-		Reissued:   n.Reissued,
-		Drained:    n.Drained,
-		Recoveries: n.Recoveries,
-		Procs:      mrep.Procs,
-		Scheme:     mrep.Scheme,
-		Placement:  mrep.Placement,
-		Sim:        mrep,
+		Backend:       "sim",
+		Answer:        mrep.Answer,
+		Completed:     mrep.Completed,
+		Err:           mrep.Err,
+		Makespan:      int64(mrep.Makespan),
+		Unit:          Ticks,
+		Messages:      n.Messages,
+		Spawned:       n.Spawned,
+		Reissued:      n.Reissued,
+		Drained:       n.Drained,
+		Recoveries:    n.Recoveries,
+		Procs:         mrep.Procs,
+		Scheme:        mrep.Scheme,
+		Placement:     mrep.Placement,
+		QueueDepthMax: queueMax,
+		Sim:           mrep,
 	}
 	return s.closeRep, nil
 }

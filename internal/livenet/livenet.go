@@ -122,6 +122,10 @@ type Cluster struct {
 	reqs    map[uint32]*Request
 	nextReq uint32
 	defReq  *Request // the Start/Wait single-request compatibility handle
+	// onReqDone, when set, runs after a request's *first* root delivery,
+	// outside reqMu (it may re-enter Submit). The service session's bounded
+	// admission uses it to free an in-flight slot and install the queue head.
+	onReqDone func()
 
 	spawned   atomic.Int64
 	reissued  atomic.Int64
@@ -291,15 +295,27 @@ func (c *Cluster) Wait(timeout time.Duration) (expr.Value, error) {
 	return c.WaitRequest(c.defReq, timeout)
 }
 
+// SetRequestDoneHook installs fn to run after each request's first root
+// delivery, outside the request lock. Install before submitting traffic.
+func (c *Cluster) SetRequestDoneHook(fn func()) {
+	c.reqMu.Lock()
+	c.onReqDone = fn
+	c.reqMu.Unlock()
+}
+
 // deliverRoot hands a super-root result to its request; answers for
-// already-answered (twin) or unknown roots drain harmlessly.
+// already-answered (twin) or unknown roots drain harmlessly. Only the
+// first delivery fires the completion hook — a twin's duplicate answer
+// must not free a second admission slot.
 func (c *Cluster) deliverRoot(root stamp.Stamp, v expr.Value) {
 	id := root.Component(0)
 	c.reqMu.Lock()
 	r := c.reqs[id]
+	first := r != nil && !r.done
 	if r != nil {
 		r.done = true
 	}
+	hook := c.onReqDone
 	c.reqMu.Unlock()
 	if r == nil {
 		c.drained.Add(1)
@@ -308,6 +324,9 @@ func (c *Cluster) deliverRoot(root stamp.Stamp, v expr.Value) {
 	select {
 	case r.resultCh <- v:
 	default: // a twin already answered; determinacy says it matches
+	}
+	if first && hook != nil {
+		hook()
 	}
 }
 

@@ -23,11 +23,13 @@ import (
 
 // liveParams is the validated shape of a core.Config on the live backend.
 type liveParams struct {
-	procs     int
-	seed      int64
-	scheme    string
-	timescale time.Duration
-	deadline  time.Duration
+	procs       int
+	seed        int64
+	scheme      string
+	timescale   time.Duration
+	deadline    time.Duration
+	maxInFlight int
+	shedPolicy  bool // true = "shed", false = "queue"
 }
 
 // prepare validates the config for the live substrate and fills defaults —
@@ -50,12 +52,23 @@ func (b Backend) prepare(cfg core.Config) (liveParams, error) {
 	if cfg.Placement != "" && cfg.Placement != "random" {
 		return p, fmt.Errorf("livenet: placement %q not supported on the live backend (random only)", cfg.Placement)
 	}
+	// Bounded admission runs on both backends; the policy vocabulary is the
+	// same as the simulator's.
+	p.maxInFlight = cfg.MaxInFlight
+	switch cfg.Admission {
+	case "", "queue":
+	case "shed":
+		p.shedPolicy = true
+	default:
+		return p, fmt.Errorf("livenet: unknown admission policy %q (queue, shed)", cfg.Admission)
+	}
 	// Reject the sim-only knobs that would change what a run measures if
-	// silently dropped. (Topology, AncestorDepth, Trace and ArrivalEvery are
-	// inert here — the channel interconnect is complete, per-parent reissue
-	// has no ancestor escalation to tune, there is no event log, and real
-	// time needs no synthetic arrival spacing — so they are documented as
-	// ignored rather than rejected.)
+	// silently dropped. (Topology, AncestorDepth, Trace, ArrivalEvery and
+	// Arrival are inert here — the channel interconnect is complete,
+	// per-parent reissue has no ancestor escalation to tune, there is no
+	// event log, and real time needs no synthetic arrival spacing: live load
+	// drivers pace their own Submit calls from the workload.Arrival schedule
+	// — so they are documented as ignored rather than rejected.)
 	switch {
 	case len(cfg.Replication) > 0:
 		return p, errors.New("livenet: §5.3 task replication is not implemented on the live backend")
@@ -92,13 +105,15 @@ func (b Backend) Open(cfg core.Config) (core.Session, error) {
 	if p.scheme == "none" {
 		c.DisableRecovery()
 	}
-	return &session{
+	s := &session{
 		p:      p,
 		c:      c,
 		start:  time.Now(),
 		stop:   make(chan struct{}),
 		killed: map[proto.ProcID]bool{},
-	}, nil
+	}
+	c.SetRequestDoneHook(s.onRequestDone)
+	return s, nil
 }
 
 // session is one open live service stream.
@@ -113,30 +128,82 @@ type session struct {
 	killed   map[proto.ProcID]bool
 	closed   bool
 	closeRep *core.Report
+
+	// Bounded-admission state, guarded by mu. A slot is taken at admission
+	// (the Cluster.Submit) and freed at the request's first root delivery —
+	// symmetric with the simulator's accounting, so the two backends make
+	// identical admit/shed decisions on the same stream order.
+	inflight int
+	queue    []*liveRequest
+	queueMax int
+	shed     int
 }
 
 // Unit implements core.Session.
 func (s *session) Unit() core.TimeUnit { return core.WallMicros }
 
-// Submit implements core.Session: the request is admitted immediately —
-// real time is the live stream's arrival discipline. The mutex is held
-// across the closed check and the cluster submit so a concurrent Close can
-// never shut the node network down between the two (a spawn into a
-// shut-down cluster would silently never complete).
+// Submit implements core.Session: the request is offered immediately —
+// real time is the live stream's arrival discipline — and admission control
+// decides at the offer, in Submit order: a free slot (or an unbounded
+// stream) admits to the node network now; a full cluster sheds or queues
+// per the policy. The mutex is held across the closed check and the cluster
+// submit so a concurrent Close can never shut the node network down between
+// the two (a spawn into a shut-down cluster would silently never complete).
 func (s *session) Submit(w core.Workload) (core.SessionRequest, error) {
 	if w.Program == nil {
 		return nil, errors.New("livenet: program required")
+	}
+	if _, ok := w.Program.Func(w.Fn); !ok {
+		// Validated at the offer so a queued request cannot fail admission
+		// later, long after the submitter's error path has gone.
+		return nil, fmt.Errorf("livenet: unknown function %q", w.Fn)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, errors.New("livenet: session closed")
 	}
+	now := time.Now()
+	if s.p.maxInFlight > 0 && s.inflight >= s.p.maxInFlight {
+		if s.p.shedPolicy {
+			s.shed++
+			return &liveRequest{s: s, shed: true, offered: now}, nil
+		}
+		lr := &liveRequest{s: s, w: w, offered: now, admitCh: make(chan struct{})}
+		s.queue = append(s.queue, lr)
+		if len(s.queue) > s.queueMax {
+			s.queueMax = len(s.queue)
+		}
+		return lr, nil
+	}
 	r, err := s.c.Submit(w.Program, w.Fn, w.Args)
 	if err != nil {
 		return nil, err
 	}
-	return &liveRequest{s: s, r: r, arrived: time.Now()}, nil
+	s.inflight++
+	return &liveRequest{s: s, r: r, offered: now, arrived: now}, nil
+}
+
+// onRequestDone frees the completed request's admission slot and installs
+// the queue head, if any. It runs outside the cluster's request lock (the
+// hook contract), so taking mu and re-entering Cluster.Submit is safe.
+func (s *session) onRequestDone() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflight--
+	if s.closed || len(s.queue) == 0 ||
+		(s.p.maxInFlight > 0 && s.inflight >= s.p.maxInFlight) {
+		return
+	}
+	lr := s.queue[0]
+	s.queue = s.queue[1:]
+	r, err := s.c.Submit(lr.w.Program, lr.w.Fn, lr.w.Args)
+	if err == nil {
+		s.inflight++
+	}
+	lr.r, lr.admitErr = r, err
+	lr.arrived = time.Now()
+	close(lr.admitCh)
 }
 
 // Inject implements core.Session: validate the plan (the live backend's
@@ -204,18 +271,24 @@ func (s *session) Inject(plan *faults.Plan) ([]int64, error) {
 }
 
 // Close implements core.Session: stop the fault schedulers, shut the node
-// network down, and report the stream totals.
+// network down, and report the stream totals. The mutex is released before
+// Shutdown — node goroutines finishing their last deliveries fire the
+// admission hook, which takes the mutex; holding it across the shutdown
+// barrier would deadlock the teardown.
 func (s *session) Close() (*core.Report, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
-		return s.closeRep, nil
+		rep := s.closeRep
+		s.mu.Unlock()
+		return rep, nil
 	}
 	s.closed = true
 	close(s.stop)
+	queueMax := s.queueMax
+	s.mu.Unlock()
 	s.wg.Wait()
 	spawned, reissued, drained := s.c.Stats()
-	s.closeRep = &core.Report{
+	rep := &core.Report{
 		Backend:        "live",
 		Makespan:       time.Since(s.start).Microseconds(),
 		Unit:           core.WallMicros,
@@ -227,32 +300,97 @@ func (s *session) Close() (*core.Report, error) {
 		Procs:          s.p.procs,
 		Scheme:         s.p.scheme,
 		Placement:      "random",
+		QueueDepthMax:  queueMax,
 		ReissuesByNode: s.c.ReissuesByNode(),
 	}
 	s.c.Shutdown()
-	return s.closeRep, nil
+	s.mu.Lock()
+	s.closeRep = rep
+	s.mu.Unlock()
+	return rep, nil
 }
 
-// liveRequest implements core.SessionRequest.
+// liveRequest implements core.SessionRequest. The offer stamp is set at
+// Submit; a request the admission queue held gets its r and arrived fields
+// when onRequestDone installs it (the admitCh close publishes them), a shed
+// request never gets either.
 type liveRequest struct {
 	s       *session
 	r       *Request
+	w       core.Workload
+	offered time.Time
 	arrived time.Time
+
+	shed     bool
+	admitCh  chan struct{} // non-nil iff the request was queued
+	admitErr error
 
 	once sync.Once
 	rep  *core.Report
 	err  error
 }
 
+// baseReport is the per-request report skeleton.
+func (lr *liveRequest) baseReport() *core.Report {
+	s := lr.s
+	return &core.Report{
+		Backend:   "live",
+		Unit:      core.WallMicros,
+		Procs:     s.p.procs,
+		Scheme:    s.p.scheme,
+		Placement: "random",
+	}
+}
+
 // Wait implements core.SessionRequest: block for the answer up to the
 // per-request deadline, counted from the request's admission (the
 // documented Config.Deadline contract — so draining a wedged stream of N
-// requests costs one budget, not N). An answer already delivered is
-// accepted even after the budget; a timeout is not an error — the report
-// says Completed false and the stream keeps serving.
+// requests costs one budget, not N; a queued request's budget starts when
+// it gets its slot, and its wait for that slot is bounded by the budget
+// from its offer). An answer already delivered is accepted even after the
+// budget; a timeout is not an error — the report says Completed false and
+// the stream keeps serving. A shed request reports immediately with the
+// typed core.ErrShed.
 func (lr *liveRequest) Wait() (*core.Report, error) {
 	lr.once.Do(func() {
 		s := lr.s
+		if lr.shed {
+			rep := lr.baseReport()
+			rep.Request = -1 // never admitted; no stream index exists
+			rep.Shed = true
+			rep.ArrivedAt = lr.offered.Sub(s.start).Microseconds()
+			lr.rep, lr.err = rep, core.ErrShed
+			return
+		}
+		if lr.admitCh != nil {
+			admitBudget := s.p.deadline - time.Since(lr.offered)
+			if admitBudget < 0 {
+				admitBudget = 0
+			}
+			select {
+			case <-lr.admitCh:
+				if lr.admitErr != nil {
+					lr.err = lr.admitErr
+					return
+				}
+			case <-time.After(admitBudget):
+				// Still queued at the budget: a timeout, like any admitted
+				// request that never answered.
+				rep := lr.baseReport()
+				rep.Request = -1
+				rep.ArrivedAt = lr.offered.Sub(s.start).Microseconds()
+				rep.Makespan = time.Since(s.start).Microseconds() - rep.ArrivedAt
+				lr.rep = rep
+				return
+			case <-s.stop:
+				rep := lr.baseReport()
+				rep.Request = -1
+				rep.ArrivedAt = lr.offered.Sub(s.start).Microseconds()
+				rep.Makespan = time.Since(s.start).Microseconds() - rep.ArrivedAt
+				lr.rep = rep
+				return
+			}
+		}
 		var v expr.Value
 		var waitErr error
 		if remaining := s.p.deadline - time.Since(lr.arrived); remaining > 0 {
@@ -265,15 +403,9 @@ func (lr *liveRequest) Wait() (*core.Report, error) {
 			}
 		}
 		done := time.Now()
-		rep := &core.Report{
-			Backend:   "live",
-			Request:   lr.r.ID(),
-			Unit:      core.WallMicros,
-			Procs:     s.p.procs,
-			Scheme:    s.p.scheme,
-			Placement: "random",
-			ArrivedAt: lr.arrived.Sub(s.start).Microseconds(),
-		}
+		rep := lr.baseReport()
+		rep.Request = lr.r.ID()
+		rep.ArrivedAt = lr.arrived.Sub(s.start).Microseconds()
 		if waitErr == nil {
 			rep.Completed = true
 			rep.Answer = v

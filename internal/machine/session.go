@@ -48,6 +48,16 @@ type Session struct {
 	outstanding int
 	lastArrival sim.Time
 	haveArrival bool
+
+	// Admission-control state: in-flight request count, the FIFO of offered
+	// requests waiting for a slot, its high-water mark, and the shed count.
+	// All of it is mutated only on the host's shard (the admission batch
+	// events and rootDone both dispatch there), so the accounting is as
+	// deterministic as the event order itself.
+	inflight int
+	queue    []*Req
+	queueMax int
+	shed     int
 }
 
 // ServeConfig parameterizes the service stream.
@@ -57,7 +67,35 @@ type ServeConfig struct {
 	// landing between and inside requests. 0 admits the whole batch at the
 	// drive tick.
 	ArrivalEvery sim.Time
+
+	// NextArrival, when set, overrides ArrivalEvery with an explicit arrival
+	// schedule: request i is offered at stream offset NextArrival(i), clamped
+	// to the submitting drive's tick if that offset already passed. This is
+	// how the open-loop arrival generators (workload.Arrival) drive the
+	// stream.
+	NextArrival func(i int) sim.Time
+
+	// MaxInFlight bounds concurrently admitted (installed, un-completed)
+	// requests; 0 is unbounded. Offers beyond the bound follow Admission.
+	MaxInFlight int
+
+	// Admission picks what happens to an offer that finds every slot busy.
+	Admission AdmissionPolicy
 }
+
+// AdmissionPolicy selects the full-cluster behavior of a bounded stream.
+type AdmissionPolicy int
+
+// The two bounded-admission policies. AdmitQueue is the zero value.
+const (
+	// AdmitQueue holds excess offers in a FIFO; each completion installs the
+	// head. A queued request's per-request budget counts from its eventual
+	// admission, not its offer.
+	AdmitQueue AdmissionPolicy = iota
+	// AdmitShed rejects excess offers outright: the request is marked shed
+	// at its offer tick and never consumes machine resources.
+	AdmitShed
+)
 
 // Req is one submitted request: the session-side record of a super-root
 // evaluation. Fields are stamped by the kernel as the stream progresses.
@@ -70,6 +108,8 @@ type Req struct {
 	done    bool
 	doneAt  sim.Time
 	answer  expr.Value
+	shed    bool
+	shedAt  sim.Time
 }
 
 // ID is the request's stream index (0-based, admission order).
@@ -78,8 +118,15 @@ func (r *Req) ID() int { return r.id }
 // Fn names the request's entry function.
 func (r *Req) Fn() string { return r.fn }
 
-// Arrival is the virtual tick the request was admitted at.
+// Arrival is the virtual tick the request was admitted at: its offer tick
+// on the unbounded path, or the tick the admission queue installed it.
 func (r *Req) Arrival() sim.Time { return r.arrival }
+
+// Shed reports whether admission control rejected the request.
+func (r *Req) Shed() bool { return r.shed }
+
+// ShedAt is the tick the request was shed at (valid when Shed).
+func (r *Req) ShedAt() sim.Time { return r.shedAt }
 
 // Done reports whether the answer reached the super-root.
 func (r *Req) Done() bool { return r.done }
@@ -211,12 +258,13 @@ func (s *Session) start() {
 	}
 }
 
-// admit installs the pending requests: admissions are grouped by arrival
-// tick and each same-tick batch becomes one host-owned kernel event that
-// installs the whole batch in submission order — one event instead of N on
-// the one-shot path, and the install runs on the host's shard where the
-// spawn bookkeeping lives. With ArrivalEvery > 0 the batch spreads into a
-// stream, one admission event per distinct arrival tick.
+// admit offers the pending requests to the stream: offers are grouped by
+// arrival tick and each same-tick batch becomes one host-owned kernel event
+// that offers the whole batch in submission order — one event instead of N
+// on the one-shot path, and the offer runs on the host's shard where the
+// spawn and admission bookkeeping live. With ArrivalEvery > 0 the batch
+// spreads into a stream, one admission event per distinct arrival tick;
+// with NextArrival set, the explicit schedule places each offer instead.
 func (s *Session) admit() {
 	m := s.m
 	if len(s.pendReqs) == 0 {
@@ -230,13 +278,17 @@ func (s *Session) admit() {
 		reqs := batch
 		m.kern.AtOn(batchAt, hostOwner, func() {
 			for _, r := range reqs {
-				s.install(r)
+				s.offer(r)
 			}
 		})
 	}
 	for _, r := range s.pendReqs {
 		arr := now
-		if s.haveArrival && s.cfg.ArrivalEvery > 0 {
+		if s.cfg.NextArrival != nil {
+			if at := s.cfg.NextArrival(r.id); at > arr {
+				arr = at
+			}
+		} else if s.haveArrival && s.cfg.ArrivalEvery > 0 {
 			if next := s.lastArrival + s.cfg.ArrivalEvery; next > arr {
 				arr = next
 			}
@@ -256,10 +308,40 @@ func (s *Session) admit() {
 	s.pendReqs = nil
 }
 
+// offer runs admission control for one request at its arrival tick, on the
+// host's shard. An open slot (or an unbounded stream) installs immediately;
+// a full cluster queues or sheds per the policy. Shedding stops the kernel
+// like a completion does, so a driver waiting on the shed request observes
+// the decision.
+func (s *Session) offer(r *Req) {
+	m := s.m
+	if s.cfg.MaxInFlight > 0 && s.inflight >= s.cfg.MaxInFlight {
+		if s.cfg.Admission == AdmitShed {
+			r.shed = true
+			r.shedAt = m.host.k.Now()
+			s.shed++
+			s.outstanding--
+			m.host.k.Stop()
+			return
+		}
+		s.queue = append(s.queue, r)
+		if len(s.queue) > s.queueMax {
+			s.queueMax = len(s.queue)
+		}
+		return
+	}
+	s.install(r)
+}
+
 // install creates the request's host pseudo-task and demands the root
-// application — the super-root retains the root task packet (§4.3.1).
+// application — the super-root retains the root task packet (§4.3.1). The
+// arrival stamp is the install tick: identical to the offer tick on the
+// direct path, and the dequeue tick for a request the admission queue held
+// (its per-request budget starts when it actually gets a slot).
 func (s *Session) install(r *Req) {
 	m := s.m
+	s.inflight++
+	r.arrival = m.host.k.Now()
 	hostPkt := &proto.TaskPacket{
 		Key:    hostKey(r.id),
 		Fn:     r.fn,
@@ -288,6 +370,7 @@ func (s *Session) rootDone(key proto.TaskKey, v expr.Value) {
 	r.doneAt = s.m.host.k.Now()
 	r.answer = v
 	s.outstanding--
+	s.inflight--
 	m := s.m
 	if !m.done {
 		m.done = true
@@ -295,14 +378,25 @@ func (s *Session) rootDone(key proto.TaskKey, v expr.Value) {
 		m.doneAt = r.doneAt
 	}
 	m.log(proto.HostID, trace.KRootDone, "", v.String())
+	// A freed slot installs the admission queue's head inline: rootDone runs
+	// on the host's shard inside the completion event, exactly the context
+	// the batch admission events install from, so the dequeue is as
+	// deterministic (and shard-count-invariant) as the completion itself.
+	if len(s.queue) > 0 && (s.cfg.MaxInFlight <= 0 || s.inflight < s.cfg.MaxInFlight) {
+		next := s.queue[0]
+		copy(s.queue, s.queue[1:])
+		s.queue = s.queue[:len(s.queue)-1]
+		s.install(next)
+	}
 	m.host.k.Stop()
 }
 
-// Wait drives the kernel until r completes, errors, or exhausts its budget:
-// each request gets Config.Deadline virtual ticks from its arrival and
-// Config.MaxEvents dispatches per drive segment. On return r.Done reports
-// completion; a false value after Wait means the request timed out (the
-// stream itself continues — later submissions still run).
+// Wait drives the kernel until r completes, is shed, errors, or exhausts
+// its budget: each request gets Config.Deadline virtual ticks from its
+// arrival and Config.MaxEvents dispatches per drive segment. On return
+// r.Done reports completion and r.Shed an admission rejection; both false
+// after Wait means the request timed out (the stream itself continues —
+// later submissions still run).
 func (s *Session) Wait(r *Req) {
 	m := s.m
 	// Admissions are scheduled before start's fault plans, so a same-tick
@@ -310,11 +404,13 @@ func (s *Session) Wait(r *Req) {
 	// the one-shot machine's direct install produced.
 	s.admit()
 	s.start()
-	deadline := r.arrival + m.cfg.Deadline
 	for {
-		if r.done || m.runErr != nil || s.finished {
+		if r.done || r.shed || m.runErr != nil || s.finished {
 			return
 		}
+		// Recomputed each pass: a queued request's arrival moves to its
+		// install tick, and its budget counts from there.
+		deadline := r.arrival + m.cfg.Deadline
 		if m.kern.Now() >= deadline {
 			return
 		}
@@ -331,6 +427,12 @@ func (s *Session) Wait(r *Req) {
 
 // Outstanding reports how many admitted requests have not completed.
 func (s *Session) Outstanding() int { return s.outstanding }
+
+// ShedCount reports how many offers admission control rejected.
+func (s *Session) ShedCount() int { return s.shed }
+
+// QueueDepthMax reports the admission queue's high-water mark.
+func (s *Session) QueueDepthMax() int { return s.queueMax }
 
 // Now is the stream clock in virtual ticks.
 func (s *Session) Now() sim.Time { return s.m.kern.Now() }

@@ -1,6 +1,6 @@
 // Package runner is the experiment engine: a registry of reproduction
 // artifacts (figures F1–F7, tables T1–T7, ablations A1–A4, stress scenarios
-// S1–S4, service/live artifacts L1–L3), a worker pool that fans
+// S1–S5, service/live artifacts L1–L4), a worker pool that fans
 // (experiment × seed) cells out across
 // goroutines, and a stats aggregator that folds per-seed tables into
 // mean/min/max summaries with effect-size classification. cmd/experiments,
@@ -212,7 +212,7 @@ var (
 )
 
 // Default returns the registry of every artifact indexed in DESIGN.md plus
-// the stress scenarios S1–S4 and the live/service artifacts L1–L3, with
+// the stress scenarios S1–S5 and the live/service artifacts L1–L4, with
 // the canonical parameters the report uses.
 func Default() *Registry {
 	defaultOnce.Do(func() {
@@ -245,12 +245,16 @@ func Default() *Registry {
 			{ID: "S3", Title: "Stress: fault density to the breaking point", Kind: KindTable, Table: experiments.S3FaultDensity},
 			{ID: "S4", Title: "Stress: skewed/random shapes, mesh vs torus under region+burst faults", Kind: KindTable,
 				Table: experiments.S4ShapeDiversity},
+			{ID: "S5", Title: "Stress: open-loop saturation sweep vs bounded admission", Kind: KindTable,
+				Table: experiments.S5Saturation},
 			{ID: "L1", Title: "Live backend: sim-vs-live parity on the standard workloads", Kind: KindTable,
 				Backends: []string{"live"}, Table: experiments.L1Parity},
 			{ID: "L2", Title: "Live backend: burst-kill fault sweep on the goroutine cluster", Kind: KindTable,
 				Backends: []string{"live"}, Table: experiments.L2LiveFaultSweep},
 			{ID: "L3", Title: "Service mode: request-stream throughput with faults injected mid-stream", Kind: KindTable,
 				Backends: []string{"sim", "live"}, TableOn: experiments.L3StreamThroughput},
+			{ID: "L4", Title: "Live backend: open-loop saturation under bounded admission", Kind: KindTable,
+				Backends: []string{"live"}, Table: experiments.L4LiveSaturation},
 		} {
 			defaultReg.MustRegister(e)
 		}

@@ -20,6 +20,14 @@
 // happened (B5 suppressed, the twin inherited B2's orphans), while a table
 // measures how much they cost. Both register in internal/runner's registry
 // and render into EXPERIMENTS.md through the same pipeline.
+//
+// The service layer has its own narrative counterpart: the admission tests
+// in internal/core pin *which* requests a bounded stream admits, queues,
+// and sheds (ServiceReport.Render byte-compared across shard counts and
+// Submit interleavings), playing the same role for the open-loop load path
+// — seeded arrival schedules from internal/workload, the saturation sweeps
+// S5/L4 in internal/experiments — that the figure replays play for the
+// recovery protocol.
 package scenario
 
 import (
