@@ -13,9 +13,9 @@
 //
 //	apsim -workload fib:16 -procs 16 -topology mesh -placement gradient
 //	apsim -workload nqueens:6 -recovery splice -fault 2@3000 -trace
-//	apsim -workload tree:4,6 -recovery rollback -fault 1@2000,5@6000s
+//	apsim -workload tree:4,6 -scheme incremental -fault 1@2000,5@6000s
 //	apsim -workload fib:12 -requests 32 -every 100 -fault 2@4000,5@6000
-//	apsim -workload fib:12 -requests 32 -arrive poisson:0.02 -max-inflight 16 -admission shed
+//	apsim -workload fib:12 -requests 32 -arrive poisson:0.02 -max-inflight 16 -admission queue:8
 //	apsim -workload fib:12 -requests 32 -backend live -fault 2@4000
 //	apsim -workload fib:13 -procs 64 -recovery rollback -cpuprofile cpu.out -memprofile mem.out
 //
@@ -39,6 +39,7 @@ import (
 	"repro/internal/lang"
 	_ "repro/internal/livenet" // register the "live" backend
 	"repro/internal/proto"
+	"repro/internal/recovery"
 )
 
 func main() {
@@ -50,7 +51,8 @@ func main() {
 		procs     = flag.Int("procs", 8, "number of processors")
 		topo      = flag.String("topology", "mesh", "ring|mesh|hypercube|complete|star")
 		placement = flag.String("placement", "random", "random|gradient|static|local")
-		recov     = flag.String("recovery", "none", "none|rollback|rollback-lazy|splice")
+		recov     = flag.String("recovery", "none", "recovery scheme: "+strings.Join(recovery.Names(), "|"))
+		scheme    = flag.String("scheme", "", "alias for -recovery: "+strings.Join(recovery.Names(), "|"))
 		ancestors = flag.Int("ancestors", 2, "ancestor-pointer depth K (§5.2)")
 		replicate = flag.Int("replicate", 1, "replica count for every function (§5.3; requires -recovery none)")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -63,11 +65,22 @@ func main() {
 		every     = flag.Int64("every", 0, "service mode: admit requests this many virtual ticks apart on the sim stream clock (0 = all at once)")
 		arrive    = flag.String("arrive", "", `service mode: seeded arrival process on the sim stream clock — poisson:RATE, uniform:GAP or burst:SIZE:GAP (the "arrive:" prefix is optional; overrides -every)`)
 		inflight  = flag.Int("max-inflight", 0, "service mode: bound on concurrently admitted requests (0 = unbounded)")
-		admission = flag.String("admission", "", "service mode: what to do with requests over the -max-inflight bound — queue (default) or shed")
+		admission = flag.String("admission", "", "service mode: what to do with requests over the -max-inflight bound — queue (default), queue:N (FIFO bounded at depth N) or shed")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (profile with `go tool pprof`)")
 		memProf   = flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	)
 	flag.Parse()
+
+	if *scheme != "" {
+		*recov = *scheme
+	}
+	if *recov != "" {
+		// Validate eagerly so a typo fails here with the registry's name
+		// list, not deep inside the first request of a service stream.
+		if _, err := recovery.ByName(*recov); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

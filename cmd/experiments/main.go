@@ -44,7 +44,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "artifacts: all, one id (F1/F2/F5/F6/F7, T1..T7, A1..A4, S1..S5, L1..L4, any case; see -list), or a comma-separated list")
+		exp      = flag.String("exp", "all", "artifacts: all, one id (F1/F2/F5/F6/F7, T1..T7, A1..A4, S1..S6, L1..L4, any case; see -list), or a comma-separated list")
 		run      = flag.String("run", "", "alias for -exp (takes precedence when set)")
 		backend  = flag.String("backend", "sim", "execution backend: sim (discrete-event simulator) or live (goroutine cluster); artifacts not declaring the backend render a skip note")
 		seed     = flag.Int64("seed", 1, "base random seed for the quantitative tables")

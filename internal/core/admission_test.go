@@ -272,6 +272,82 @@ func TestAdmissionShardSweep(t *testing.T) {
 	}
 }
 
+// TestAdmissionBoundedQueue: "queue:N" holds at most N requests behind the
+// in-flight bound and sheds past that depth. With one slot and a depth-1
+// queue, a same-tick batch of three admits one, queues one, sheds one —
+// and the queued request's time in the FIFO lands in QueuedFor and the
+// report's queue-wait percentiles, separate from its service latency.
+func TestAdmissionBoundedQueue(t *testing.T) {
+	cl, err := Open(Config{Procs: 8, Seed: 3, Recovery: "rollback",
+		MaxInFlight: 1, Admission: "queue:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []string{"fib:9", "fib:10", "fib:11"} {
+		if _, err := cl.SubmitSpec(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sr, err := cl.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Offered != 3 || sr.Admitted != 2 || sr.Shed != 1 || sr.Completed != 2 {
+		t.Fatalf("ledger offered/admitted/shed/completed = %d/%d/%d/%d\n%s",
+			sr.Offered, sr.Admitted, sr.Shed, sr.Completed, sr.Render())
+	}
+	if sr.QueueDepthMax != 1 {
+		t.Fatalf("queue depth max = %d, want 1 (the bound)\n%s", sr.QueueDepthMax, sr.Render())
+	}
+	var direct, queued *Report
+	for _, rep := range sr.PerRequest {
+		if !rep.Completed {
+			continue
+		}
+		if rep.QueuedFor == 0 {
+			direct = rep
+		} else {
+			queued = rep
+		}
+	}
+	if direct == nil || queued == nil {
+		t.Fatalf("want one direct and one queued completion:\n%s", sr.Render())
+	}
+	// The queued request waited exactly one service interval (one slot means
+	// it was installed when the direct request finished), and that wait is
+	// not part of its service latency: the latency clock starts at install.
+	if queued.QueuedFor != direct.DoneAt-direct.ArrivedAt {
+		t.Fatalf("queued wait %d != predecessor service interval %d\n%s",
+			queued.QueuedFor, direct.DoneAt-direct.ArrivedAt, sr.Render())
+	}
+	if queued.ArrivedAt != direct.DoneAt {
+		t.Fatalf("queued request installed at %d, want predecessor completion %d",
+			queued.ArrivedAt, direct.DoneAt)
+	}
+	if sr.QueueWaitP99 != queued.QueuedFor || sr.QueueWaitP50 != 0 {
+		t.Fatalf("queue-wait percentiles p50=%d p99=%d, want 0 and %d\n%s",
+			sr.QueueWaitP50, sr.QueueWaitP99, queued.QueuedFor, sr.Render())
+	}
+	if !strings.Contains(sr.Render(), "queue wait :") {
+		t.Fatalf("Render misses the queue-wait line:\n%s", sr.Render())
+	}
+}
+
+// TestBoundedQueueSpecValidation: malformed queue:N specs fail the Open
+// with the policy vocabulary, on both backends (the livenet mirror lives in
+// that package's tests).
+func TestBoundedQueueSpecValidation(t *testing.T) {
+	for _, spec := range []string{"queue:0", "queue:-2", "queue:abc", "queue:08", "queue:"} {
+		if _, err := Open(Config{Admission: spec}); err == nil ||
+			!strings.Contains(err.Error(), "unknown admission policy") {
+			t.Fatalf("sim Open accepted admission %q: %v", spec, err)
+		}
+	}
+	if _, err := Open(Config{Admission: "queue:16"}); err != nil {
+		t.Fatalf("sim Open rejected a well-formed bound: %v", err)
+	}
+}
+
 // TestConcurrentSubmitWithShedding is the -race stress for the bounded
 // admission path: requests raced in from eight goroutines against a 4-shard
 // kernel must produce the byte-identical report of the sequential

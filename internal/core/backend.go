@@ -74,10 +74,15 @@ type Report struct {
 	// ServiceReport — while Makespan is the request's own service latency.
 	ArrivedAt, DoneAt int64
 	// Shed marks a per-request report whose request admission control
-	// rejected (Config.MaxInFlight with the "shed" policy): never admitted,
-	// Completed false, ArrivedAt the offer stamp. The request's Wait also
-	// returns ErrShed.
+	// rejected (Config.MaxInFlight with the "shed" policy, or a "queue:N"
+	// FIFO at its bound): never admitted, Completed false, ArrivedAt the
+	// offer stamp. The request's Wait also returns ErrShed.
 	Shed bool
+	// QueuedFor is the time in Unit a service-mode request spent in the
+	// admission FIFO before it got a slot (0 for requests admitted
+	// directly). It is measured separately from the service latency:
+	// ArrivedAt stamps the install, not the offer.
+	QueuedFor int64
 	// QueueDepthMax, on a session's aggregate (Close) report, is the
 	// admission queue's high-water mark over the stream ("queue" policy;
 	// always 0 with "shed" or unbounded admission).

@@ -203,10 +203,16 @@ func (c *Cluster) buildServiceReportLocked(totals *Report) *ServiceReport {
 		sr.QueueDepthMax = totals.QueueDepthMax
 	}
 	sort.Slice(sr.FaultStamps, func(i, j int) bool { return sr.FaultStamps[i] < sr.FaultStamps[j] })
-	var latencies []int64
+	var latencies, queueWaits []int64
 	var first, last int64
 	for _, t := range c.tickets {
 		rep, err := t.Wait()
+		if err == nil && rep != nil && rep.Err == nil && !rep.Shed && rep.Request >= 0 {
+			// Every admitted request spent a (possibly zero) spell in the
+			// admission FIFO, whether it later completed or timed out; shed
+			// and never-admitted requests have no queue spell to report.
+			queueWaits = append(queueWaits, rep.QueuedFor)
+		}
 		if err != nil || rep == nil || rep.Err != nil || !rep.Completed {
 			// Every offered request gets a row, even the ones that never
 			// produced a report (submission errors): the counters below must
@@ -266,6 +272,16 @@ func (c *Cluster) buildServiceReportLocked(totals *Report) *ServiceReport {
 		sr.LatencyP50 = percentile(latencies, 50)
 		sr.LatencyP99 = percentile(latencies, 99)
 	}
+	if len(queueWaits) > 0 {
+		sort.Slice(queueWaits, func(i, j int) bool { return queueWaits[i] < queueWaits[j] })
+		var sum int64
+		for _, q := range queueWaits {
+			sum += q
+		}
+		sr.QueueWaitMean = sum / int64(len(queueWaits))
+		sr.QueueWaitP50 = percentile(queueWaits, 50)
+		sr.QueueWaitP99 = percentile(queueWaits, 99)
+	}
 	return sr
 }
 
@@ -321,6 +337,12 @@ type ServiceReport struct {
 	// completion − admission), nearest-rank percentiles.
 	LatencyMean, LatencyP50, LatencyP99 int64
 
+	// Queue-wait aggregates over admitted requests: the time each spent in
+	// the admission FIFO before it got a slot (0 for directly admitted
+	// requests). Measured separately from service latency, whose clock
+	// starts at the install.
+	QueueWaitMean, QueueWaitP50, QueueWaitP99 int64
+
 	// DuringRecovery counts completed requests whose service interval
 	// contained at least one injected fault — they were answered while the
 	// system was crashing and recovering around them; OutsideRecovery is the
@@ -363,6 +385,8 @@ func (sr *ServiceReport) Render() string {
 		sr.Span, sr.Unit, sr.Throughput, sr.ThroughputLabel())
 	fmt.Fprintf(&b, "latency    : mean %d, p50 %d, p99 %d (%s)\n",
 		sr.LatencyMean, sr.LatencyP50, sr.LatencyP99, sr.Unit)
+	fmt.Fprintf(&b, "queue wait : mean %d, p50 %d, p99 %d (%s)\n",
+		sr.QueueWaitMean, sr.QueueWaitP50, sr.QueueWaitP99, sr.Unit)
 	fmt.Fprintf(&b, "recovery   : %d completed during recovery, %d outside (fault stamps %v)\n",
 		sr.DuringRecovery, sr.OutsideRecovery, sr.FaultStamps)
 	fmt.Fprintf(&b, "counters   : %d messages, %d spawned, %d reissued, %d drained, %d recoveries\n",

@@ -55,7 +55,8 @@ type Config struct {
 	// Placement is "random", "gradient", "static" or "local"
 	// (default "random").
 	Placement string
-	// Recovery is "none", "rollback", "rollback-lazy" or "splice"
+	// Recovery is any recovery.Names() scheme: "incremental", "none",
+	// "rollback", "rollback-lazy", "rollback-nosuppress" or "splice"
 	// (default "none").
 	Recovery string
 	// AncestorDepth is the §5.2 ancestor-pointer depth K (default 2).
@@ -105,21 +106,30 @@ type Config struct {
 	// follow Admission.
 	MaxInFlight int
 	// Admission is the full-cluster policy when MaxInFlight is reached:
-	// "queue" (the default — FIFO, each completion admits the head) or
-	// "shed" (reject outright; the ticket's Wait returns ErrShed).
+	// "queue" (the default — unbounded FIFO, each completion admits the
+	// head), "queue:N" (FIFO bounded at depth N — offers that find the
+	// queue full are shed) or "shed" (reject outright). Shed tickets'
+	// Wait returns ErrShed. Queued requests report their time in queue
+	// separately from service latency (ServiceReport's queue-wait row).
 	Admission string
 }
 
 // admissionPolicy validates Config.Admission and maps it to the machine's
-// policy; both backends share it so their vocabularies can never drift.
-func (c Config) admissionPolicy() (machine.AdmissionPolicy, error) {
+// policy plus the FIFO depth bound (0 = unbounded); both backends share it
+// so their vocabularies can never drift.
+func (c Config) admissionPolicy() (machine.AdmissionPolicy, int, error) {
 	switch c.Admission {
 	case "", "queue":
-		return machine.AdmitQueue, nil
+		return machine.AdmitQueue, 0, nil
 	case "shed":
-		return machine.AdmitShed, nil
+		return machine.AdmitShed, 0, nil
 	}
-	return 0, fmt.Errorf("core: unknown admission policy %q (queue, shed)", c.Admission)
+	var n int
+	if cnt, err := fmt.Sscanf(c.Admission, "queue:%d", &n); cnt == 1 && err == nil &&
+		fmt.Sprintf("queue:%d", n) == c.Admission && n > 0 {
+		return machine.AdmitQueue, n, nil
+	}
+	return 0, 0, fmt.Errorf("core: unknown admission policy %q (queue, queue:N, shed)", c.Admission)
 }
 
 // arrival validates Config.Arrival, returning nil when no open-loop

@@ -38,10 +38,11 @@ type simSession struct {
 	mu  sync.Mutex
 	cfg Config
 
-	// arrival and admission are the validated service knobs (newSimSession
-	// rejects malformed specs before any request exists).
-	arrival   *workload.Arrival
-	admission machine.AdmissionPolicy
+	// arrival, admission and queueBound are the validated service knobs
+	// (newSimSession rejects malformed specs before any request exists).
+	arrival    *workload.Arrival
+	admission  machine.AdmissionPolicy
+	queueBound int
 
 	m  *machine.Machine
 	ms *machine.Session
@@ -76,11 +77,11 @@ func newSimSession(cfg Config) (*simSession, error) {
 	if err != nil {
 		return nil, err
 	}
-	pol, err := cfg.admissionPolicy()
+	pol, bound, err := cfg.admissionPolicy()
 	if err != nil {
 		return nil, err
 	}
-	return &simSession{cfg: cfg, arrival: arr, admission: pol}, nil
+	return &simSession{cfg: cfg, arrival: arr, admission: pol, queueBound: bound}, nil
 }
 
 // Unit implements Session.
@@ -236,6 +237,7 @@ func (s *simSession) serveConfig() machine.ServeConfig {
 		ArrivalEvery: sim.Time(s.cfg.ArrivalEvery),
 		MaxInFlight:  s.cfg.MaxInFlight,
 		Admission:    s.admission,
+		QueueBound:   s.queueBound,
 	}
 	if s.arrival != nil {
 		seed := s.cfg.Seed
@@ -323,6 +325,7 @@ func (s *simSession) requestReport(r *simRequest) *Report {
 		rep.Answer = mr.Answer()
 		rep.DoneAt = int64(mr.DoneAt())
 		rep.Makespan = int64(mr.DoneAt() - mr.Arrival())
+		rep.QueuedFor = int64(mr.QueuedFor())
 	case mr.Shed():
 		// Never admitted: the arrival stamp is the offer tick and no stream
 		// time was spent serving it.
@@ -330,6 +333,7 @@ func (s *simSession) requestReport(r *simRequest) *Report {
 		rep.Makespan = 0
 	default:
 		rep.Makespan = int64(s.ms.Now() - mr.Arrival())
+		rep.QueuedFor = int64(mr.QueuedFor())
 	}
 	return rep
 }

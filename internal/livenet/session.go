@@ -30,6 +30,7 @@ type liveParams struct {
 	deadline    time.Duration
 	maxInFlight int
 	shedPolicy  bool // true = "shed", false = "queue"
+	queueBound  int  // "queue:N" FIFO cap; 0 = unbounded
 }
 
 // prepare validates the config for the live substrate and fills defaults —
@@ -60,7 +61,13 @@ func (b Backend) prepare(cfg core.Config) (liveParams, error) {
 	case "shed":
 		p.shedPolicy = true
 	default:
-		return p, fmt.Errorf("livenet: unknown admission policy %q (queue, shed)", cfg.Admission)
+		var n int
+		if cnt, err := fmt.Sscanf(cfg.Admission, "queue:%d", &n); cnt == 1 && err == nil &&
+			fmt.Sprintf("queue:%d", n) == cfg.Admission && n > 0 {
+			p.queueBound = n
+			break
+		}
+		return p, fmt.Errorf("livenet: unknown admission policy %q (queue, queue:N, shed)", cfg.Admission)
 	}
 	// Reject the sim-only knobs that would change what a run measures if
 	// silently dropped. (Topology, AncestorDepth, Trace, ArrivalEvery and
@@ -165,7 +172,7 @@ func (s *session) Submit(w core.Workload) (core.SessionRequest, error) {
 	}
 	now := time.Now()
 	if s.p.maxInFlight > 0 && s.inflight >= s.p.maxInFlight {
-		if s.p.shedPolicy {
+		if s.p.shedPolicy || (s.p.queueBound > 0 && len(s.queue) >= s.p.queueBound) {
 			s.shed++
 			return &liveRequest{s: s, shed: true, offered: now}, nil
 		}
@@ -406,6 +413,7 @@ func (lr *liveRequest) Wait() (*core.Report, error) {
 		rep := lr.baseReport()
 		rep.Request = lr.r.ID()
 		rep.ArrivedAt = lr.arrived.Sub(s.start).Microseconds()
+		rep.QueuedFor = lr.arrived.Sub(lr.offered).Microseconds()
 		if waitErr == nil {
 			rep.Completed = true
 			rep.Answer = v

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 
 	"repro/internal/balance"
 	"repro/internal/recovery"
@@ -128,6 +129,12 @@ func (c Config) normalized() (Config, error) {
 	}
 	if c.Scheme == nil {
 		c.Scheme = recovery.None()
+	}
+	if !recovery.Known(c.Scheme.Name()) {
+		// Keep the error text in lockstep with the recovery registry so the
+		// names users see here are exactly the names ByName accepts.
+		return c, fmt.Errorf("machine: unknown recovery scheme %q (known: %s)",
+			c.Scheme.Name(), strings.Join(recovery.Names(), ", "))
 	}
 	if c.AncestorDepth == 0 {
 		c.AncestorDepth = 2

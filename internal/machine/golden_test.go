@@ -33,6 +33,7 @@ var goldenCells = []struct {
 	{"s1-mesh64-rollback-faultfree", "rollback", 0},
 	{"s1-mesh64-rollback-burst3", "rollback", 3},
 	{"s1-mesh64-splice-burst3", "splice", 3},
+	{"s1-mesh64-incremental-burst3", "incremental", 3},
 }
 
 // goldenRun executes one golden cell with tracing and returns its

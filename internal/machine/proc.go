@@ -220,6 +220,31 @@ func (p *proc) TaskWaitingOnHole(key proto.TaskKey, holeID int) bool {
 	return h != nil && !h.filled
 }
 
+// UnfilledHoles implements recovery.Ops.
+func (p *proc) UnfilledHoles(key proto.TaskKey) int {
+	t, ok := p.tasks[key]
+	if !ok || t.state == taskAborted {
+		return -1
+	}
+	return t.unfilled
+}
+
+// Defer implements recovery.Ops: fn runs on this processor's own shard
+// kernel after delay ticks, which keeps paced recovery decisions on the
+// owning shard. A processor that dies before the timer fires does nothing —
+// its checkpoints are somebody else's problem by then.
+func (p *proc) Defer(delay int64, fn func()) {
+	if delay < 1 {
+		delay = 1
+	}
+	p.k.After(sim.Time(delay), func() {
+		if p.dead {
+			return
+		}
+		fn()
+	})
+}
+
 // IsKnownFaulty implements recovery.Ops.
 func (p *proc) IsKnownFaulty(q proto.ProcID) bool { return p.isFaulty(q) }
 

@@ -81,6 +81,11 @@ type ServeConfig struct {
 
 	// Admission picks what happens to an offer that finds every slot busy.
 	Admission AdmissionPolicy
+
+	// QueueBound caps the AdmitQueue FIFO: an offer that finds the queue
+	// already holding QueueBound requests is shed exactly like AdmitShed.
+	// 0 leaves the queue unbounded. Ignored under AdmitShed.
+	QueueBound int
 }
 
 // AdmissionPolicy selects the full-cluster behavior of a bounded stream.
@@ -100,16 +105,18 @@ const (
 // Req is one submitted request: the session-side record of a super-root
 // evaluation. Fields are stamped by the kernel as the stream progresses.
 type Req struct {
-	id      int
-	fn      string
-	args    []expr.Value
-	prog    int
-	arrival sim.Time
-	done    bool
-	doneAt  sim.Time
-	answer  expr.Value
-	shed    bool
-	shedAt  sim.Time
+	id        int
+	fn        string
+	args      []expr.Value
+	prog      int
+	arrival   sim.Time
+	offered   sim.Time
+	queuedFor sim.Time
+	done      bool
+	doneAt    sim.Time
+	answer    expr.Value
+	shed      bool
+	shedAt    sim.Time
 }
 
 // ID is the request's stream index (0-based, admission order).
@@ -121,6 +128,13 @@ func (r *Req) Fn() string { return r.fn }
 // Arrival is the virtual tick the request was admitted at: its offer tick
 // on the unbounded path, or the tick the admission queue installed it.
 func (r *Req) Arrival() sim.Time { return r.arrival }
+
+// QueuedFor is the time the request spent in the admission FIFO before it
+// got a slot: install tick minus offer tick, 0 for requests admitted
+// directly. Time in queue is deliberately outside the per-request budget
+// and the service latency (DoneAt − Arrival) — it measures the admission
+// layer, not the machine.
+func (r *Req) QueuedFor() sim.Time { return r.queuedFor }
 
 // Shed reports whether admission control rejected the request.
 func (r *Req) Shed() bool { return r.shed }
@@ -315,8 +329,11 @@ func (s *Session) admit() {
 // the decision.
 func (s *Session) offer(r *Req) {
 	m := s.m
+	r.offered = m.host.k.Now()
 	if s.cfg.MaxInFlight > 0 && s.inflight >= s.cfg.MaxInFlight {
-		if s.cfg.Admission == AdmitShed {
+		full := s.cfg.Admission == AdmitQueue &&
+			s.cfg.QueueBound > 0 && len(s.queue) >= s.cfg.QueueBound
+		if s.cfg.Admission == AdmitShed || full {
 			r.shed = true
 			r.shedAt = m.host.k.Now()
 			s.shed++
@@ -342,6 +359,7 @@ func (s *Session) install(r *Req) {
 	m := s.m
 	s.inflight++
 	r.arrival = m.host.k.Now()
+	r.queuedFor = r.arrival - r.offered
 	hostPkt := &proto.TaskPacket{
 		Key:    hostKey(r.id),
 		Fn:     r.fn,

@@ -1,5 +1,5 @@
 // Package recovery implements the paper's two fault-recovery schemes on top
-// of functional checkpointing:
+// of functional checkpointing, plus an online incremental third:
 //
 //   - Rollback (§3): on failure of processor B, every processor reissues the
 //     topmost checkpointed tasks it had settled on B and abandons (aborts)
@@ -11,6 +11,11 @@
 //     forwarded to the grandparent (or deeper ancestors, §5.2), which relays
 //     them to the twin. Partial results are salvaged instead of discarded.
 //
+//   - Incremental (incremental.go): rollback's reissues, re-dispersed one
+//     at a time under a paced budget, ordered by live demand — critical-path
+//     holes first — so repair interleaves with useful work and unaffected
+//     requests keep flowing during recovery.
+//
 // Policies are per-processor objects invoked by the machine at three hook
 // points: a failure becomes known, a locally computed result proves
 // undeliverable, and an orphan ("grandchild") result arrives for relay.
@@ -19,6 +24,8 @@ package recovery
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/checkpoint"
 	"repro/internal/proto"
@@ -68,6 +75,16 @@ type Ops interface {
 	Log(kind trace.Kind, task fmt.Stringer, note string)
 	// Metrics is the machine-wide counter sink.
 	Metrics() *trace.Metrics
+	// Defer schedules fn on this processor's own (shard-local) event kernel
+	// after delay virtual ticks; the callback is dropped if the processor
+	// dies first. Pacing through Defer keeps paced decisions on the owning
+	// shard, which is what makes incremental recovery shard-invariant.
+	Defer(delay int64, fn func())
+	// UnfilledHoles is the number of demand slots the resident task still
+	// waits on, or -1 when the task is gone or aborted. A parent with
+	// exactly one unfilled hole is blocked on that hole alone — the
+	// critical-path signal the incremental scheme drains first.
+	UnfilledHoles(task proto.TaskKey) int
 }
 
 // Policy is the per-processor recovery behaviour.
@@ -322,21 +339,50 @@ func (p *splicePolicy) OnGrandResult(res *proto.Result) {
 	p.ops.RelayToTwin(res)
 }
 
-// ByName returns a scheme from its CLI name: "none", "rollback",
-// "rollback-lazy", "splice".
-func ByName(name string) (Scheme, error) {
-	switch name {
-	case "none":
-		return None(), nil
-	case "rollback":
-		return Rollback(), nil
-	case "rollback-lazy":
-		return RollbackLazy(), nil
-	case "rollback-nosuppress":
-		return RollbackNoSuppress(), nil
-	case "splice":
-		return Splice(), nil
-	default:
-		return nil, fmt.Errorf("recovery: unknown scheme %q", name)
+// registry is the single statement of which schemes exist. Config
+// validation, CLI help/error text and ByName all derive from it, so a new
+// scheme registered here is automatically discoverable everywhere.
+var registry = []struct {
+	name string
+	ctor func() Scheme
+}{
+	{"incremental", Incremental},
+	{"none", None},
+	{"rollback", Rollback},
+	{"rollback-lazy", RollbackLazy},
+	{"rollback-nosuppress", RollbackNoSuppress},
+	{"splice", Splice},
+}
+
+// Names lists every registered scheme name in sorted order — the exact
+// strings ByName accepts.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.name
 	}
+	sort.Strings(out)
+	return out
+}
+
+// Known reports whether name is a registered scheme name.
+func Known(name string) bool {
+	for _, e := range registry {
+		if e.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ByName returns a scheme from its CLI name. The error text lists the
+// registered names, so callers can surface it verbatim.
+func ByName(name string) (Scheme, error) {
+	for _, e := range registry {
+		if e.name == name {
+			return e.ctor(), nil
+		}
+	}
+	return nil, fmt.Errorf("recovery: unknown scheme %q (known: %s)",
+		name, strings.Join(Names(), ", "))
 }

@@ -20,7 +20,10 @@ type mockOps struct {
 	waiting map[string]bool // "stamp/hole" → unfilled
 	faulty  map[proto.ProcID]bool
 
+	unfilled map[proto.TaskKey]int // explicit UnfilledHoles answers
+
 	respawned []*proto.TaskPacket
+	deferred  []deferredCall
 	aborted   []string // "key scope reason"
 	escalated []*proto.Result
 	relayed   []*proto.Result
@@ -33,12 +36,18 @@ type mockOps struct {
 	policy Policy
 }
 
+type deferredCall struct {
+	delay int64
+	fn    func()
+}
+
 func newMockOps() *mockOps {
 	return &mockOps{
-		self:    0,
-		store:   checkpoint.NewStore(),
-		waiting: map[string]bool{},
-		faulty:  map[proto.ProcID]bool{},
+		self:     0,
+		store:    checkpoint.NewStore(),
+		waiting:  map[string]bool{},
+		unfilled: map[proto.TaskKey]int{},
+		faulty:   map[proto.ProcID]bool{},
 	}
 }
 
@@ -66,7 +75,38 @@ func (m *mockOps) DeclareFaulty(p proto.ProcID) {
 		m.policy.OnFailureDetected(p)
 	}
 }
-func (m *mockOps) IsKnownFaulty(p proto.ProcID) bool    { return m.faulty[p] }
+func (m *mockOps) IsKnownFaulty(p proto.ProcID) bool { return m.faulty[p] }
+func (m *mockOps) Defer(delay int64, fn func()) {
+	m.deferred = append(m.deferred, deferredCall{delay, fn})
+}
+func (m *mockOps) UnfilledHoles(k proto.TaskKey) int {
+	if v, ok := m.unfilled[k]; ok {
+		return v
+	}
+	// Fall back to the waiting map: one unfilled hole per waiting entry.
+	n := 0
+	for key, w := range m.waiting {
+		if w && strings.HasPrefix(key, k.String()+"/") {
+			n++
+		}
+	}
+	if n == 0 {
+		return -1
+	}
+	return n
+}
+
+// fireDeferred runs the oldest pending deferred callback, mirroring one
+// timer expiry on the machine.
+func (m *mockOps) fireDeferred(t *testing.T) {
+	t.Helper()
+	if len(m.deferred) == 0 {
+		t.Fatal("no deferred drain armed")
+	}
+	d := m.deferred[0]
+	m.deferred = m.deferred[1:]
+	d.fn()
+}
 func (m *mockOps) DropResult(r *proto.Result, s bool)   { m.dropped = append(m.dropped, s) }
 func (m *mockOps) Log(trace.Kind, fmt.Stringer, string) {}
 func (m *mockOps) Metrics() *trace.Metrics              { return &m.metrics }
@@ -87,7 +127,7 @@ func (m *mockOps) seed(child stamp.Stamp, parentStamp stamp.Stamp, hole int, des
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"none", "rollback", "rollback-lazy", "splice"} {
+	for _, name := range Names() {
 		s, err := ByName(name)
 		if err != nil {
 			t.Fatalf("ByName(%q): %v", name, err)
@@ -98,6 +138,24 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("nosuch"); err == nil {
 		t.Error("unknown scheme accepted")
+	}
+}
+
+// The registry is the single source of the scheme list: the names users see
+// in error text must be exactly the names ByName accepts, and the schemes
+// this PR series added must actually be registered.
+func TestUnknownSchemeErrorListsRegistry(t *testing.T) {
+	for _, want := range []string{"incremental", "none", "rollback", "rollback-lazy", "rollback-nosuppress", "splice"} {
+		if !Known(want) {
+			t.Errorf("Known(%q) = false", want)
+		}
+	}
+	_, err := ByName("nosuch")
+	if err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if want := strings.Join(Names(), ", "); !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not list the registry %q", err, want)
 	}
 }
 

@@ -247,6 +247,8 @@ func Default() *Registry {
 				Table: experiments.S4ShapeDiversity},
 			{ID: "S5", Title: "Stress: open-loop saturation sweep vs bounded admission", Kind: KindTable,
 				Table: experiments.S5Saturation},
+			{ID: "S6", Title: "Stress: online incremental recovery vs rollback and splice", Kind: KindTable,
+				Table: experiments.S6IncrementalRecovery},
 			{ID: "L1", Title: "Live backend: sim-vs-live parity on the standard workloads", Kind: KindTable,
 				Backends: []string{"live"}, Table: experiments.L1Parity},
 			{ID: "L2", Title: "Live backend: burst-kill fault sweep on the goroutine cluster", Kind: KindTable,

@@ -16,7 +16,7 @@ var cliIDs = []string{
 	"F1", "F2", "F5", "F6", "F7",
 	"T1", "T2", "T3", "T4", "T5", "T6", "T7",
 	"A1", "A2", "A3", "A4",
-	"S1", "S2", "S3", "S4", "S5",
+	"S1", "S2", "S3", "S4", "S5", "S6",
 	"L1", "L2", "L3", "L4",
 }
 

@@ -41,6 +41,7 @@ const (
 	KSnapshot                 // baseline: global checkpoint taken
 	KRestore                  // baseline: global state restored
 	KRootDone                 // the program's answer reached the super-root
+	KDemandQueue              // incremental: lost checkpoint queued for paced reissue
 )
 
 var kindNames = map[Kind]string{
@@ -53,6 +54,7 @@ var kindNames = map[Kind]string{
 	KPrefill: "prefill", KStrand: "strand", KVote: "vote",
 	KVoteMismatch: "vote-mismatch", KSnapshot: "snapshot",
 	KRestore: "restore", KRootDone: "root-done",
+	KDemandQueue: "demand-queue",
 }
 
 func (k Kind) String() string {
@@ -156,6 +158,7 @@ type Metrics struct {
 	Checkpoints     int64 // functional checkpoints recorded
 	CheckpointBytes int64 // peak retained checkpoint storage, bytes
 	Reissues        int64 // rollback reissues
+	PacedReissues   int64 // incremental: reissues that went through the paced queue
 	Suppressed      int64 // shadowed checkpoints skipped (topmost rule)
 	Twins           int64 // splice twins created
 	OrphanResults   int64 // orphan results forwarded to ancestors
@@ -205,6 +208,7 @@ func (m *Metrics) Add(o *Metrics) {
 	m.Checkpoints += o.Checkpoints
 	m.CheckpointBytes += o.CheckpointBytes
 	m.Reissues += o.Reissues
+	m.PacedReissues += o.PacedReissues
 	m.Suppressed += o.Suppressed
 	m.Twins += o.Twins
 	m.OrphanResults += o.OrphanResults
@@ -249,7 +253,8 @@ func (m *Metrics) Rows() []string {
 		{"tasks.leaked", m.TasksLeaked},
 		{"steps.executed", m.StepsExecuted}, {"steps.wasted", m.StepsWasted},
 		{"ckpt.count", m.Checkpoints}, {"ckpt.bytes", m.CheckpointBytes},
-		{"recover.reissues", m.Reissues}, {"recover.suppressed", m.Suppressed},
+		{"recover.reissues", m.Reissues}, {"recover.paced", m.PacedReissues},
+		{"recover.suppressed", m.Suppressed},
 		{"recover.twins", m.Twins}, {"recover.orphan-results", m.OrphanResults},
 		{"recover.relayed", m.Relayed}, {"recover.prefills", m.Prefills},
 		{"recover.stranded", m.Stranded},
