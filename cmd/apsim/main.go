@@ -38,11 +38,15 @@ import (
 	"repro/internal/faults"
 	"repro/internal/lang"
 	_ "repro/internal/livenet" // register the "live" backend
+	"repro/internal/netnode"   // register the "net" backend
 	"repro/internal/proto"
 	"repro/internal/recovery"
 )
 
 func main() {
+	// A re-exec'd node process enters here and never returns; must run
+	// before flag parsing (the node marker argv is not a flag).
+	netnode.ChildMain()
 	var (
 		workload  = flag.String("workload", "fib:14", "workload spec: fib:N tak:X,Y,Z nqueens:N sumrange:N msort:N tree:F,D binom:N,K")
 		program   = flag.String("program", "", "path to a program file (overrides -workload; see internal/lang.Parse for the syntax)")
@@ -56,7 +60,10 @@ func main() {
 		ancestors = flag.Int("ancestors", 2, "ancestor-pointer depth K (§5.2)")
 		replicate = flag.Int("replicate", 1, "replica count for every function (§5.3; requires -recovery none)")
 		seed      = flag.Int64("seed", 1, "random seed")
-		backend   = flag.String("backend", "sim", "execution backend: sim (virtual time) or live (goroutine cluster, wall time)")
+		backend   = flag.String("backend", "sim", "execution backend: sim (virtual time), live (goroutine cluster, wall time) or net (process-per-node over sockets, crash = SIGKILL)")
+		netTCP    = flag.Bool("net-tcp", false, "net backend: use loopback TCP instead of unix sockets")
+		recBudget = flag.Int("recovery-budget", 0, "incremental scheme: reinstalled checkpoints per recovery slice (0 = default 1)")
+		recPeriod = flag.Int64("recovery-period", 0, "incremental scheme: virtual ticks between recovery slices (0 = default 8)")
 		faultSpec = flag.String("fault", "", "fault plan, e.g. 2@3000 or 1@2000s,3@4000c; in service mode times are stream-clock ticks")
 		showTrace = flag.Bool("trace", false, "print the event trace")
 		deadline  = flag.Int64("deadline", 0, "virtual-time budget (0 = default); per-request in service mode")
@@ -123,16 +130,19 @@ func main() {
 	if *shards == 0 {
 		*shards = -1 // 0 on the CLI means "derive from GOMAXPROCS"
 	}
+	netnode.Default.TCP = *netTCP
 	cfg := core.Config{
-		Procs:         *procs,
-		Topology:      *topo,
-		Placement:     *placement,
-		Recovery:      *recov,
-		AncestorDepth: *ancestors,
-		Seed:          *seed,
-		Shards:        *shards,
-		Trace:         *showTrace,
-		Deadline:      *deadline,
+		Procs:          *procs,
+		Topology:       *topo,
+		Placement:      *placement,
+		Recovery:       *recov,
+		AncestorDepth:  *ancestors,
+		Seed:           *seed,
+		Shards:         *shards,
+		Trace:          *showTrace,
+		Deadline:       *deadline,
+		RecoveryBudget: *recBudget,
+		RecoveryPeriod: *recPeriod,
 	}
 	if *replicate > 1 {
 		cfg.Replication = map[string]int{}
@@ -174,8 +184,12 @@ func main() {
 		fmt.Printf("machine    : %d processors, %s, placement=%s, recovery=%s, seed=%d\n",
 			rep.Procs, *topo, rep.Placement, rep.Scheme, *seed)
 	} else {
-		fmt.Printf("machine    : %d live goroutine nodes (backend=%s), placement=%s, recovery=%s, seed=%d\n",
-			rep.Procs, rep.Backend, rep.Placement, rep.Scheme, *seed)
+		kind := "live goroutine nodes"
+		if rep.Backend == "net" {
+			kind = "node processes"
+		}
+		fmt.Printf("machine    : %d %s (backend=%s), placement=%s, recovery=%s, seed=%d\n",
+			rep.Procs, kind, rep.Backend, rep.Placement, rep.Scheme, *seed)
 	}
 	if len(plan.Faults) > 0 {
 		fmt.Printf("faults     : %v\n", plan.Faults)
@@ -202,8 +216,8 @@ func main() {
 		}
 	} else {
 		fmt.Printf("makespan   : %d µs wall clock\n", rep.Makespan)
-		fmt.Printf("counters   : %d messages, %d spawned, %d reissued, %d drained\n",
-			rep.Messages, rep.Spawned, rep.Reissued, rep.Drained)
+		fmt.Printf("counters   : %d messages (%d bytes), %d spawned, %d reissued, %d drained\n",
+			rep.Messages, rep.MsgBytes, rep.Spawned, rep.Reissued, rep.Drained)
 		fmt.Printf("reissues   : per node %v\n", rep.ReissuesByNode)
 	}
 }

@@ -39,14 +39,17 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/netnode"
 	"repro/internal/runner"
 )
 
 func main() {
+	// A re-exec'd node process (net backend) enters here and never returns.
+	netnode.ChildMain()
 	var (
-		exp      = flag.String("exp", "all", "artifacts: all, one id (F1/F2/F5/F6/F7, T1..T7, A1..A4, S1..S6, L1..L4, any case; see -list), or a comma-separated list")
+		exp      = flag.String("exp", "all", "artifacts: all, one id (F1/F2/F5/F6/F7, T1..T7, A1..A4, S1..S6, L1..L5, any case; see -list), or a comma-separated list")
 		run      = flag.String("run", "", "alias for -exp (takes precedence when set)")
-		backend  = flag.String("backend", "sim", "execution backend: sim (discrete-event simulator) or live (goroutine cluster); artifacts not declaring the backend render a skip note")
+		backend  = flag.String("backend", "sim", "execution backend: sim (discrete-event simulator), live (goroutine cluster) or net (process-per-node cluster); artifacts not declaring the backend render a skip note")
 		seed     = flag.Int64("seed", 1, "base random seed for the quantitative tables")
 		seeds    = flag.Int("seeds", 1, "number of consecutive seeds to sweep (seed, seed+1, ...)")
 		parallel = flag.Int("parallel", 0, "worker goroutines for the (experiment × seed) grid (0 = GOMAXPROCS; -backend live always runs sequentially so wall-clock makespans measure the workload, not pool contention)")

@@ -43,6 +43,10 @@ type Report struct {
 	Unit TimeUnit
 	// Messages counts every message the interconnect carried.
 	Messages int64
+	// MsgBytes is the encoded payload bytes of those messages, measured with
+	// the proto codec's wire sizes on every backend — the one byte figure
+	// that is comparable across sim, live and net.
+	MsgBytes int64
 	// Spawned counts task packets created, including reissues and twins.
 	Spawned int64
 	// Reissued counts checkpointed packets re-sent after a failure.

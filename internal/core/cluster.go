@@ -196,6 +196,7 @@ func (c *Cluster) buildServiceReportLocked(totals *Report) *ServiceReport {
 		sr.Scheme = totals.Scheme
 		sr.Placement = totals.Placement
 		sr.Messages = totals.Messages
+		sr.MsgBytes = totals.MsgBytes
 		sr.Spawned = totals.Spawned
 		sr.Reissued = totals.Reissued
 		sr.Drained = totals.Drained
@@ -350,8 +351,10 @@ type ServiceReport struct {
 	DuringRecovery, OutsideRecovery int
 	FaultStamps                     []int64
 
-	// Stream-total counters from the substrate.
-	Messages, Spawned, Reissued, Drained, Recoveries int64
+	// Stream-total counters from the substrate. MsgBytes is the encoded
+	// payload bytes of Messages in proto codec wire sizes — the one byte
+	// figure comparable across sim, live and net.
+	Messages, MsgBytes, Spawned, Reissued, Drained, Recoveries int64
 
 	// PerRequest holds the per-request reports in stream order; Totals is
 	// the substrate's aggregate report (Sim detail on the simulator).
@@ -389,8 +392,8 @@ func (sr *ServiceReport) Render() string {
 		sr.QueueWaitMean, sr.QueueWaitP50, sr.QueueWaitP99, sr.Unit)
 	fmt.Fprintf(&b, "recovery   : %d completed during recovery, %d outside (fault stamps %v)\n",
 		sr.DuringRecovery, sr.OutsideRecovery, sr.FaultStamps)
-	fmt.Fprintf(&b, "counters   : %d messages, %d spawned, %d reissued, %d drained, %d recoveries\n",
-		sr.Messages, sr.Spawned, sr.Reissued, sr.Drained, sr.Recoveries)
+	fmt.Fprintf(&b, "counters   : %d messages (%d bytes), %d spawned, %d reissued, %d drained, %d recoveries\n",
+		sr.Messages, sr.MsgBytes, sr.Spawned, sr.Reissued, sr.Drained, sr.Recoveries)
 	for _, rep := range sr.PerRequest {
 		status := "ok " + fmt.Sprint(rep.Answer)
 		switch {

@@ -59,6 +59,13 @@ type Config struct {
 	// "rollback", "rollback-lazy", "rollback-nosuppress" or "splice"
 	// (default "none").
 	Recovery string
+	// RecoveryBudget and RecoveryPeriod pace the "incremental" scheme: at
+	// most Budget checkpoint reissues per drain tick, drains Period virtual
+	// ticks apart (0 = the scheme defaults, 1 and 8). Build rejects negative
+	// values, and rejects non-zero values under any other scheme rather than
+	// silently ignoring them.
+	RecoveryBudget int
+	RecoveryPeriod int64
 	// AncestorDepth is the §5.2 ancestor-pointer depth K (default 2).
 	AncestorDepth int
 	// Replication maps function names to §5.3 replica counts.
@@ -296,16 +303,27 @@ func (c Config) Build(prog *lang.Program) (*machine.Machine, error) {
 		}
 		mc.Placement = pol
 	}
+	if c.RecoveryBudget < 0 || c.RecoveryPeriod < 0 {
+		return nil, fmt.Errorf("core: recovery budget/period must be > 0 (got %d/%d)",
+			c.RecoveryBudget, c.RecoveryPeriod)
+	}
 	if mc.Scheme == nil {
 		name := c.Recovery
 		if name == "" {
 			name = "none"
 		}
-		sch, err := recovery.ByName(name)
-		if err != nil {
-			return nil, err
+		if c.RecoveryBudget != 0 || c.RecoveryPeriod != 0 {
+			if name != "incremental" {
+				return nil, fmt.Errorf("core: recovery budget/period only apply to the incremental scheme, not %q", name)
+			}
+			mc.Scheme = &recovery.IncrementalScheme{Budget: c.RecoveryBudget, Period: c.RecoveryPeriod}
+		} else {
+			sch, err := recovery.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			mc.Scheme = sch
 		}
-		mc.Scheme = sch
 	}
 	if mc.AncestorDepth == 0 {
 		mc.AncestorDepth = c.AncestorDepth

@@ -420,6 +420,7 @@ func (s *simSession) Close() (*Report, error) {
 		Makespan:      int64(mrep.Makespan),
 		Unit:          Ticks,
 		Messages:      n.Messages,
+		MsgBytes:      n.Bytes,
 		Spawned:       n.Spawned,
 		Reissued:      n.Reissued,
 		Drained:       n.Drained,

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/expr"
 	"repro/internal/lang"
+	"repro/internal/proto"
 	"repro/internal/stamp"
 )
 
@@ -51,6 +52,49 @@ type packet struct {
 	// parent's. Code is resident in-process — this is a pointer, not wire
 	// payload. nil falls back to the cluster's build program.
 	prog *lang.Program
+	// wireSize is the packet's proto codec size, sealed by encodedSize at
+	// construction (before the pointer is shared) so reissues — which resend
+	// the same retained pointer, possibly from another goroutine — only read.
+	wireSize int
+}
+
+// encodedSize memoizes the packet's proto wire size — the same
+// proto.TaskPacket.EncodedSize figure the simulator charges per hop, so the
+// two backends' byte totals are comparable. Construction sites call it once
+// before the packet is shared.
+func (p *packet) encodedSize() int {
+	if p.wireSize == 0 {
+		view := proto.TaskPacket{
+			Key:    proto.TaskKey{Stamp: p.stamp},
+			Fn:     p.fn,
+			Args:   p.args,
+			Parent: proto.Addr{Proc: proto.ProcID(p.parentNode), Task: proto.TaskKey{Stamp: p.parentTask}},
+			HoleID: p.holeID,
+		}
+		p.wireSize = view.EncodedSize()
+	}
+	return p.wireSize
+}
+
+// msgWireSize mirrors proto.Msg.EncodedSize for the live message shapes:
+// a fixed header plus the payload's codec size (16 for the small fixed
+// payloads, here nodeDown).
+func msgWireSize(m msg) int {
+	const header = 12
+	switch {
+	case m.spawn != nil:
+		return header + m.spawn.encodedSize()
+	case m.result != nil:
+		view := proto.Result{
+			Child:      proto.TaskKey{Stamp: m.result.child},
+			ParentTask: proto.TaskKey{Stamp: m.result.parent},
+			HoleID:     m.result.holeID,
+			Value:      m.result.value,
+		}
+		return header + view.EncodedSize()
+	default:
+		return header + 16
+	}
 }
 
 type resultMsg struct {
@@ -132,6 +176,7 @@ type Cluster struct {
 	drained   atomic.Int64
 	killsSeen atomic.Int64
 	msgs      atomic.Int64
+	msgBytes  atomic.Int64
 
 	// noRecovery disables reissue after kills (the "none" scheme): survivors
 	// are not told about deaths and the super-root does not reissue the
@@ -205,6 +250,7 @@ func (c *Cluster) Submit(prog *lang.Program, fn string, args []expr.Value) (*Req
 		parentNode: -1,
 		prog:       prog,
 	}
+	root.encodedSize() // seal the wire size before the packet is shared
 	r := &Request{id: id, resultCh: make(chan expr.Value, 1), rootPkt: root}
 	r.rootDest = c.pickLiveFrom(int(id) % len(c.nodes))
 	c.reqs[id] = r
@@ -345,6 +391,10 @@ func (c *Cluster) Stats() (spawned, reissued, drained int64) {
 // Messages is the total number of messages handed to the interconnect.
 func (c *Cluster) Messages() int64 { return c.msgs.Load() }
 
+// MsgBytes is the encoded payload byte total of Messages, in proto codec
+// wire sizes.
+func (c *Cluster) MsgBytes() int64 { return c.msgBytes.Load() }
+
 // ReissuesByNode reports how many retained child packets each node re-sent
 // as a parent after peer deaths. The super-root's reissue of the root packet
 // (cluster-level, §4.3.1) is counted in Stats but belongs to no node.
@@ -364,6 +414,7 @@ func (c *Cluster) ReissuesByNode() []int64 {
 // messages is already arbitrary on a real interconnect.
 func (c *Cluster) send(dest int, m msg) {
 	c.msgs.Add(1)
+	c.msgBytes.Add(int64(msgWireSize(m)))
 	select {
 	case c.nodes[dest].inbox <- m:
 	default:
@@ -480,6 +531,7 @@ func (n *node) apply(t *ltask, out lang.Outcome) {
 			holeID:     d.ID,
 			prog:       t.pkt.prog,
 		}
+		child.encodedSize() // seal the wire size before the packet is shared
 		dest := n.pickDest()
 		// Functional checkpoint: retain the packet and remember where it
 		// went (§2.1); this is everything recovery needs.

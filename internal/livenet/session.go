@@ -77,6 +77,8 @@ func (b Backend) prepare(cfg core.Config) (liveParams, error) {
 	// drivers pace their own Submit calls from the workload.Arrival schedule
 	// — so they are documented as ignored rather than rejected.)
 	switch {
+	case cfg.RecoveryBudget != 0 || cfg.RecoveryPeriod != 0:
+		return p, errors.New("livenet: recovery budget/period pace the incremental scheme, which only the simulator implements")
 	case len(cfg.Replication) > 0:
 		return p, errors.New("livenet: §5.3 task replication is not implemented on the live backend")
 	case cfg.DisableCheckpoints:
@@ -300,6 +302,7 @@ func (s *session) Close() (*core.Report, error) {
 		Makespan:       time.Since(s.start).Microseconds(),
 		Unit:           core.WallMicros,
 		Messages:       s.c.Messages(),
+		MsgBytes:       s.c.MsgBytes(),
 		Spawned:        spawned,
 		Reissued:       reissued,
 		Drained:        drained,

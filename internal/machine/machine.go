@@ -190,6 +190,9 @@ type NeutralCounts struct {
 	Drained int64
 	// Recoveries counts recovery events: reissues plus splice twins.
 	Recoveries int64
+	// Bytes is the encoded payload byte total of Messages (the proto codec
+	// wire sizes).
+	Bytes int64
 }
 
 // NeutralCounts extracts the backend-neutral counters from the report.
@@ -201,6 +204,7 @@ func (r *Report) NeutralCounts() NeutralCounts {
 		Reissued:   m.Reissues,
 		Drained:    m.DupResults + m.LateResults,
 		Recoveries: m.Reissues + m.Twins,
+		Bytes:      m.BytesOnWire,
 	}
 }
 

@@ -1,0 +1,643 @@
+package netnode
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/lang"
+	"repro/internal/proto"
+	"repro/internal/stamp"
+)
+
+// Request is one submitted root application: the cluster retains its root
+// packet (the super-root pre-evaluation checkpoint of §4.3.1) and routes
+// its answer to a private channel.
+type Request struct {
+	id       uint32
+	resultCh chan expr.Value
+	rootPkt  *proto.TaskPacket
+	rootProg uint16
+	rootDest proto.ProcID
+	done     bool
+}
+
+// ID is the request's stream index.
+func (r *Request) ID() int { return int(r.id) }
+
+// sendq is an unbounded FIFO of outbound frames for one child. The router
+// goroutines enqueue without ever blocking: if writes to children were
+// synchronous, two mutually-full socket buffers would deadlock the whole
+// mesh (parent blocked writing to a child that is itself blocked writing to
+// the parent). Unbounded is safe here — the queue is bounded in practice by
+// the task tree in flight, and a dead child's queue is dropped wholesale.
+type sendq struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []*proto.Frame
+	closed bool
+}
+
+func newSendq() *sendq {
+	s := &sendq{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// push enqueues a frame; false means the queue is closed (child dead).
+func (s *sendq) push(f *proto.Frame) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.q = append(s.q, f)
+	s.cond.Signal()
+	return true
+}
+
+// pop blocks for the next frame; false means closed and drained.
+func (s *sendq) pop() (*proto.Frame, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.q) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.q) == 0 {
+		return nil, false
+	}
+	f := s.q[0]
+	s.q = s.q[1:]
+	return f, true
+}
+
+func (s *sendq) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.q = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// child is the supervisor's handle on one node process.
+type child struct {
+	id    int
+	pid   int
+	cmd   *managedProc
+	conn  net.Conn
+	alive atomic.Bool
+	out   *sendq // outbound frames, drained by a dedicated writer goroutine
+
+	// lastBeat is the wall stamp (UnixNano) of the last frame seen from the
+	// child — heartbeat bookkeeping; death detection itself is the broken
+	// connection.
+	lastBeat atomic.Int64
+	// reissues is the per-node recovery-load statistic, counted by the
+	// router from FlagReissue spawn frames (attribution survives a later
+	// SIGKILL of the node, unlike child-local counters).
+	reissues atomic.Int64
+}
+
+// Cluster is a process-per-node machine: N child processes dialed into the
+// parent's socket, the parent routing frames between them and acting as the
+// super-root.
+type Cluster struct {
+	n       int
+	seed    int64
+	recov   bool
+	network string
+	addr    string
+	dir     string // unix-socket temp dir ("" for tcp)
+	ln      net.Listener
+
+	children []*child
+
+	// progMu guards the program table; programs ship once, by index.
+	progMu  sync.Mutex
+	progs   []*lang.Program
+	progIdx map[*lang.Program]uint16
+
+	// reqMu guards the request table and each request's rootDest/done;
+	// deliverRoot and the death handler both take it, so a root reissue can
+	// never race its own completion.
+	reqMu     sync.Mutex
+	reqs      map[uint32]*Request
+	nextReq   uint32
+	onReqDone func()
+
+	// Stream counters. msgs/msgBytes count protocol frames (spawn, result,
+	// node-down) the router carried, in real frame wire sizes — program
+	// broadcasts and supervision traffic (hello, heartbeat, stats, shutdown)
+	// are not interconnect load, matching the resident-code model of the
+	// other backends. Spawned counts non-reissue spawn frames; reissued the
+	// FlagReissue ones. Drained counts frames black-holed at dead nodes plus
+	// the child-local drains the stats frames report at graceful shutdown
+	// (a SIGKILLed node's local drains die with it — honest accounting:
+	// nothing a dead processor counted can be read back).
+	msgs      atomic.Int64
+	msgBytes  atomic.Int64
+	spawned   atomic.Int64
+	reissued  atomic.Int64
+	drained   atomic.Int64
+	killsSeen atomic.Int64
+
+	closing atomic.Bool
+	quit    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// Options configure New beyond the required arguments.
+type Options struct {
+	// TCP switches the interconnect from a unix socket in a temp directory
+	// to a loopback TCP listener.
+	TCP bool
+	// NoRecovery disables rollback reissue (the "none" scheme): deaths are
+	// still announced, survivors just don't reissue, and lost work stays
+	// lost.
+	NoRecovery bool
+}
+
+// New brings up a cluster of n node processes. Every child must complete
+// the dial-and-hello handshake before New returns; a child that fails to
+// appear within the setup timeout fails the whole Open, with the already-
+// started processes reaped.
+func New(n int, seed int64, opts Options) (*Cluster, error) {
+	if n < 2 {
+		return nil, errors.New("netnode: need at least 2 nodes")
+	}
+	c := &Cluster{
+		n:       n,
+		seed:    seed,
+		recov:   !opts.NoRecovery,
+		reqs:    map[uint32]*Request{},
+		progIdx: map[*lang.Program]uint16{},
+		quit:    make(chan struct{}),
+	}
+	if opts.TCP {
+		c.network = "tcp"
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		c.ln, c.addr = ln, ln.Addr().String()
+	} else {
+		dir, err := os.MkdirTemp("", SocketPattern)
+		if err != nil {
+			return nil, err
+		}
+		c.network, c.dir, c.addr = "unix", dir, dir+"/hub.sock"
+		ln, err := net.Listen("unix", c.addr)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		c.ln = ln
+	}
+	if err := c.startChildren(); err != nil {
+		c.teardown()
+		return nil, err
+	}
+	for _, ch := range c.children {
+		c.wg.Add(2)
+		go c.route(ch)
+		go c.writer(ch)
+	}
+	return c, nil
+}
+
+// writer drains one child's outbox onto its socket. Write errors are the
+// same failure signal as read errors: the child is gone.
+func (c *Cluster) writer(ch *child) {
+	defer c.wg.Done()
+	for {
+		f, ok := ch.out.pop()
+		if !ok {
+			return
+		}
+		if _, err := proto.WriteFrame(ch.conn, f); err != nil {
+			if !c.closing.Load() {
+				c.nodeDied(ch)
+			}
+			return
+		}
+	}
+}
+
+// startChildren spawns the n processes and completes the hello handshake.
+func (c *Cluster) startChildren() error {
+	byID := make([]*child, c.n)
+	for i := 0; i < c.n; i++ {
+		proc, err := startNodeProc(i, c.n, c.seed, c.network, c.addr, c.recov)
+		if err != nil {
+			return fmt.Errorf("netnode: start node %d: %w", i, err)
+		}
+		byID[i] = &child{id: i, cmd: proc, out: newSendq()}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for connected := 0; connected < c.n; connected++ {
+		if d, ok := c.ln.(interface{ SetDeadline(time.Time) error }); ok {
+			_ = d.SetDeadline(deadline)
+		}
+		conn, err := c.ln.Accept()
+		if err != nil {
+			c.children = compactChildren(byID)
+			return fmt.Errorf("netnode: waiting for node handshakes (%d/%d): %w", connected, c.n, err)
+		}
+		_ = conn.SetReadDeadline(deadline)
+		f, err := proto.ReadFrame(conn)
+		if err != nil || f.Type != proto.FrameHello {
+			conn.Close()
+			c.children = compactChildren(byID)
+			return fmt.Errorf("netnode: bad handshake: %v (frame %v)", err, f)
+		}
+		id, pid, err := parseHello(f.Payload)
+		if err != nil || id < 0 || id >= c.n || byID[id].conn != nil {
+			conn.Close()
+			c.children = compactChildren(byID)
+			return fmt.Errorf("netnode: bad hello (id %d): %v", id, err)
+		}
+		_ = conn.SetReadDeadline(time.Time{})
+		byID[id].conn = conn
+		byID[id].pid = pid
+		byID[id].alive.Store(true)
+		byID[id].lastBeat.Store(time.Now().UnixNano())
+	}
+	c.children = byID
+	return nil
+}
+
+// compactChildren keeps the partially-started set reapable on a failed New.
+func compactChildren(byID []*child) []*child {
+	out := byID[:0:0]
+	for _, ch := range byID {
+		if ch != nil {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+// Pids lists the node process ids, for tests asserting no orphans survive.
+func (c *Cluster) Pids() []int {
+	out := make([]int, len(c.children))
+	for i, ch := range c.children {
+		out[i] = ch.cmd.Pid()
+	}
+	return out
+}
+
+// SetRequestDoneHook runs fn after a request's *first* root delivery,
+// outside reqMu (it may re-enter Submit) — the bounded-admission contract
+// shared with livenet.
+func (c *Cluster) SetRequestDoneHook(fn func()) {
+	c.reqMu.Lock()
+	c.onReqDone = fn
+	c.reqMu.Unlock()
+}
+
+// shipProgram assigns the program an index and broadcasts its source to
+// every live node, once. Children that die later simply lose the code with
+// everything else.
+func (c *Cluster) shipProgram(prog *lang.Program) (uint16, error) {
+	c.progMu.Lock()
+	defer c.progMu.Unlock()
+	if idx, ok := c.progIdx[prog]; ok {
+		return idx, nil
+	}
+	if len(c.progs) > 0xffff {
+		return 0, errors.New("netnode: program table full")
+	}
+	idx := uint16(len(c.progs))
+	payload := programPayload(idx, lang.Format(prog))
+	for _, ch := range c.children {
+		if !ch.alive.Load() {
+			continue
+		}
+		// A closed outbox means the child died racing this broadcast; the
+		// node that needed the code is gone either way, so the program
+		// still registers.
+		ch.out.push(&proto.Frame{
+			Type: proto.FrameProgram, From: proto.HostID, To: proto.ProcID(ch.id),
+			Payload: payload,
+		})
+	}
+	c.progs = append(c.progs, prog)
+	c.progIdx[prog] = idx
+	return idx, nil
+}
+
+// Submit enqueues one root application: ship the program if new, retain the
+// root packet as the super-root checkpoint, and spawn it on a live node
+// (round-robin by stream index, like livenet).
+func (c *Cluster) Submit(prog *lang.Program, fn string, args []expr.Value) (*Request, error) {
+	if prog == nil {
+		return nil, errors.New("netnode: program required")
+	}
+	if _, ok := prog.Func(fn); !ok {
+		return nil, fmt.Errorf("netnode: unknown function %q", fn)
+	}
+	idx, err := c.shipProgram(prog)
+	if err != nil {
+		return nil, err
+	}
+	c.reqMu.Lock()
+	id := c.nextReq
+	c.nextReq++
+	root := &proto.TaskPacket{
+		Key:    proto.TaskKey{Stamp: stamp.FromPath(id)},
+		Fn:     fn,
+		Args:   args,
+		Parent: proto.Addr{Proc: proto.HostID},
+	}
+	r := &Request{id: id, resultCh: make(chan expr.Value, 1), rootPkt: root, rootProg: idx}
+	r.rootDest = c.pickLiveFrom(int(id) % c.n)
+	c.reqs[id] = r
+	dest := r.rootDest
+	c.reqMu.Unlock()
+	c.spawned.Add(1)
+	c.countFrame(proto.FrameSpawn, len(spawnPayload(idx, root)))
+	c.sendSpawn(dest, idx, root, 0)
+	return r, nil
+}
+
+// sendSpawn writes a spawn frame to a child; a dead destination black-holes
+// it (the dead processor of §3 — the parent's checkpoint is what recovers
+// the work, not the interconnect).
+func (c *Cluster) sendSpawn(dest proto.ProcID, idx uint16, pkt *proto.TaskPacket, flags byte) {
+	ch := c.children[dest]
+	if !ch.alive.Load() || !ch.out.push(&proto.Frame{
+		Type: proto.FrameSpawn, Flags: flags, From: proto.HostID, To: dest,
+		Payload: spawnPayload(idx, pkt),
+	}) {
+		c.drained.Add(1)
+	}
+}
+
+// countFrame charges one protocol message at its real frame wire size.
+func (c *Cluster) countFrame(t proto.FrameType, payloadLen int) {
+	c.msgs.Add(1)
+	c.msgBytes.Add(int64(proto.FrameHeaderSize + payloadLen))
+}
+
+// route is the per-child reader: count and forward protocol frames, absorb
+// supervision frames, and turn a broken connection into a death. One
+// goroutine per child, so a busy node never stalls another's traffic.
+func (c *Cluster) route(ch *child) {
+	defer c.wg.Done()
+	for {
+		f, err := proto.ReadFrame(ch.conn)
+		if err != nil {
+			// SIGKILL, crash, or shutdown: the connection is the failure
+			// detector. During Close the EOF is the expected goodbye.
+			if !c.closing.Load() {
+				c.nodeDied(ch)
+			}
+			return
+		}
+		ch.lastBeat.Store(time.Now().UnixNano())
+		switch f.Type {
+		case proto.FrameHeartbeat:
+			// lastBeat above is the whole point.
+		case proto.FrameStats:
+			if drained, _, err := parseStats(f.Payload); err == nil {
+				// Reissues are already counted from FlagReissue frames;
+				// only the child-local drain count is news.
+				c.drained.Add(drained)
+			}
+		case proto.FrameResult:
+			c.countFrame(f.Type, len(f.Payload))
+			if f.To == proto.HostID {
+				c.onRootResult(f.Payload)
+				continue
+			}
+			c.forward(f)
+		case proto.FrameSpawn:
+			c.countFrame(f.Type, len(f.Payload))
+			if f.Flags&proto.FlagReissue != 0 {
+				c.reissued.Add(1)
+				ch.reissues.Add(1)
+			} else {
+				c.spawned.Add(1)
+			}
+			c.forward(f)
+		default:
+			// A child never originates other frame types; drop quietly
+			// rather than wedge the stream on a protocol slip.
+		}
+	}
+}
+
+// forward relays a child-to-child frame; dead destinations black-hole it.
+func (c *Cluster) forward(f *proto.Frame) {
+	if f.To < 0 || int(f.To) >= c.n {
+		c.drained.Add(1)
+		return
+	}
+	dest := c.children[f.To]
+	if !dest.alive.Load() || !dest.out.push(f) {
+		c.drained.Add(1)
+	}
+}
+
+// onRootResult delivers a root answer to its request and frees the
+// admission slot on the first delivery (a reissued root may answer twice;
+// determinacy says the answers match).
+func (c *Cluster) onRootResult(payload []byte) {
+	res, err := proto.DecodeResult(payload)
+	if err != nil {
+		c.drained.Add(1)
+		return
+	}
+	id := res.Child.Stamp.Component(0)
+	c.reqMu.Lock()
+	r := c.reqs[id]
+	first := r != nil && !r.done
+	if r != nil {
+		r.done = true
+	}
+	hook := c.onReqDone
+	c.reqMu.Unlock()
+	if r == nil {
+		c.drained.Add(1)
+		return
+	}
+	select {
+	case r.resultCh <- res.Value:
+	default:
+	}
+	if first && hook != nil {
+		hook()
+	}
+}
+
+// nodeDied is the supervisor's failure handler — idempotent via the alive
+// CAS. It closes the conn, gossips the death to survivors, and reissues the
+// super-root checkpoints that were resident on the dead node (§4.3.1).
+// Kill SIGKILLs and lets the broken connection land here, so injected
+// faults and spontaneous crashes take the identical path.
+func (c *Cluster) nodeDied(ch *child) {
+	if !ch.alive.CompareAndSwap(true, false) {
+		return
+	}
+	ch.conn.Close()
+	ch.out.close()
+	if !c.recov {
+		return // "none": no announcement, lost work stays lost
+	}
+	payload := nodeDownPayload(ch.id)
+	for _, other := range c.children {
+		if other == ch || !other.alive.Load() {
+			continue
+		}
+		c.countFrame(proto.FrameNodeDown, len(payload))
+		other.out.push(&proto.Frame{
+			Type: proto.FrameNodeDown, From: proto.HostID, To: proto.ProcID(other.id),
+			Payload: payload,
+		})
+	}
+	// The cluster is every root's parent: reissue each outstanding
+	// request's root that was placed on the dead node.
+	c.reqMu.Lock()
+	type rootReissue struct {
+		dest proto.ProcID
+		idx  uint16
+		pkt  *proto.TaskPacket
+	}
+	var reissues []rootReissue
+	for _, r := range c.reqs {
+		if r.done || r.rootDest != proto.ProcID(ch.id) {
+			continue
+		}
+		r.rootDest = c.pickLiveAvoid(ch.id)
+		reissues = append(reissues, rootReissue{r.rootDest, r.rootProg, r.rootPkt})
+	}
+	c.reqMu.Unlock()
+	for _, ri := range reissues {
+		c.reissued.Add(1)
+		c.countFrame(proto.FrameSpawn, len(spawnPayload(ri.idx, ri.pkt)))
+		c.sendSpawn(ri.dest, ri.idx, ri.pkt, proto.FlagReissue)
+	}
+}
+
+// Kill crashes node id with SIGKILL — no cooperative path. Death detection
+// and recovery ride on the broken connection, like any real crash.
+func (c *Cluster) Kill(id int) error {
+	if id < 0 || id >= c.n {
+		return fmt.Errorf("netnode: no node %d", id)
+	}
+	ch := c.children[id]
+	if !ch.alive.Load() {
+		return fmt.Errorf("netnode: node %d already dead", id)
+	}
+	c.killsSeen.Add(1)
+	return ch.cmd.Kill()
+}
+
+// pickLiveFrom scans round-robin from start for a live node.
+func (c *Cluster) pickLiveFrom(start int) proto.ProcID {
+	for i := 0; i < c.n; i++ {
+		if d := (start + i) % c.n; c.children[d].alive.Load() {
+			return proto.ProcID(d)
+		}
+	}
+	return proto.ProcID(start)
+}
+
+// pickLiveAvoid chooses any live node other than avoid (falls back to 0).
+func (c *Cluster) pickLiveAvoid(avoid int) proto.ProcID {
+	for i, ch := range c.children {
+		if i != avoid && ch.alive.Load() {
+			return proto.ProcID(i)
+		}
+	}
+	return 0
+}
+
+// WaitRequest blocks until the request's answer arrives or the timeout
+// elapses.
+func (c *Cluster) WaitRequest(r *Request, timeout time.Duration) (expr.Value, error) {
+	select {
+	case v := <-r.resultCh:
+		return v, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("netnode: request %d: no answer after %v", r.id, timeout)
+	case <-c.quit:
+		return nil, errors.New("netnode: cluster shut down")
+	}
+}
+
+// Shutdown tears the cluster down: graceful stats+exit for live children,
+// SIGKILL for stragglers, and a reap of every process — after Shutdown no
+// node process exists, whatever state the stream was in. Call exactly once.
+func (c *Cluster) Shutdown() {
+	c.closing.Store(true)
+	for _, ch := range c.children {
+		if ch.conn == nil || !ch.alive.Load() {
+			continue
+		}
+		// FIFO behind any pending protocol frames, so the goodbye arrives
+		// after the work already queued for this child.
+		ch.out.push(&proto.Frame{
+			Type: proto.FrameShutdown, From: proto.HostID, To: proto.ProcID(ch.id),
+		})
+	}
+	// Graceful children send stats and exit on their own; the router
+	// goroutines fold the stats in and return on EOF. Stragglers (wedged or
+	// never-connected) are killed after a short grace.
+	for _, ch := range c.children {
+		if !ch.cmd.WaitTimeout(2 * time.Second) {
+			_ = ch.cmd.Kill()
+			ch.cmd.WaitTimeout(2 * time.Second)
+		}
+	}
+	c.teardown()
+	close(c.quit)
+	c.wg.Wait()
+}
+
+// teardown closes the listener and sockets and reaps every child process
+// unconditionally — also the failure path of a half-built New.
+func (c *Cluster) teardown() {
+	if c.ln != nil {
+		c.ln.Close()
+	}
+	for _, ch := range c.children {
+		if ch.conn != nil {
+			ch.conn.Close()
+		}
+		ch.out.close()
+		_ = ch.cmd.Kill()
+		ch.cmd.WaitTimeout(2 * time.Second)
+	}
+	if c.dir != "" {
+		os.RemoveAll(c.dir)
+	}
+}
+
+// Stats reports the stream counters.
+func (c *Cluster) Stats() (spawned, reissued, drained int64) {
+	return c.spawned.Load(), c.reissued.Load(), c.drained.Load()
+}
+
+// Messages is the number of protocol frames the router carried.
+func (c *Cluster) Messages() int64 { return c.msgs.Load() }
+
+// MsgBytes is the frame wire bytes of Messages.
+func (c *Cluster) MsgBytes() int64 { return c.msgBytes.Load() }
+
+// ReissuesByNode reports how many retained child packets each node re-sent
+// as a parent after peer deaths (router-attributed, so it survives the
+// reporter's own later death). Root reissues belong to the super-root, not
+// to a node.
+func (c *Cluster) ReissuesByNode() []int64 {
+	out := make([]int64, len(c.children))
+	for i, ch := range c.children {
+		out[i] = ch.reissues.Load()
+	}
+	return out
+}

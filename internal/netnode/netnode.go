@@ -1,0 +1,180 @@
+// Package netnode runs the applicative machine as separate OS processes:
+// one child process per node, real sockets as the interconnect, and the
+// internal/proto codec as the actual wire format. It is the third backend
+// ("net") behind the same core.Backend contract as the simulator and the
+// goroutine live network — the paper's claim that functional checkpointing
+// (§2) needs nothing from a particular substrate, now demonstrated across a
+// process boundary where a crash is a SIGKILL, not a cooperative teardown.
+//
+// Topology is hub-and-spoke: the parent process is the supervisor, the
+// frame router, and the super-root (§4.3.1). Children dial the parent's
+// socket (a unix socket by default, TCP by option), introduce themselves
+// with a hello frame, and then speak the protocol: task packets travel as
+// spawn frames, results as result frames, death announcements as node-down
+// gossip from the supervisor, plus heartbeats and a final stats report on
+// graceful shutdown. Fault injection SIGKILLs the child's PID — the
+// supervisor learns of the death the way a real cluster does, by the
+// connection breaking — and recovery is the per-parent rollback reissue of
+// §3, exactly as on the live goroutine backend: every parent retains the
+// packets of the children it placed (the functional checkpoints) and
+// re-disperses the ones that were resident on the dead node.
+//
+// Program code is resident, not shipped per packet: the parent broadcasts
+// each program's lang.Format source once (a program frame carrying an
+// index), children lang.Parse it, and every spawn payload names its
+// program by index — the same code-segment model the simulator and livenet
+// use in-process.
+//
+// Child processes are re-execs of the current binary: the parent runs
+// os.Executable() with the hidden "-node" argv marker and the APSIM_NETNODE_*
+// environment carrying the real configuration; ChildMain, called first thing
+// in main (and in TestMain), detects the environment and never returns.
+// Three layers prevent orphans: PDEATHSIG delivers SIGKILL to children when
+// the parent dies (linux), children exit when their connection to the parent
+// breaks (any OS — the kernel closes the socket when the parent exits, even
+// on a panic), and Close reaps every child, SIGKILLing stragglers.
+package netnode
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/proto"
+)
+
+// Environment contract between the parent and its re-exec'd children.
+// NodeEnvID doubles as the detection flag: ChildMain is a no-op unless it
+// is set.
+const (
+	// NodeEnvID is the child's node id (0-based).
+	NodeEnvID = "APSIM_NETNODE_ID"
+	// NodeEnvAddr is the parent's listen address, "unix:PATH" or "tcp:HOSTPORT".
+	NodeEnvAddr = "APSIM_NETNODE_ADDR"
+	// NodeEnvProcs is the node count.
+	NodeEnvProcs = "APSIM_NETNODE_PROCS"
+	// NodeEnvSeed is the cluster seed; node i draws placement from
+	// seed + i*7919, mirroring the live goroutine backend.
+	NodeEnvSeed = "APSIM_NETNODE_SEED"
+	// NodeEnvRecover is "1" for rollback reissue, "0" for the "none" scheme
+	// (deaths are still announced; survivors just don't reissue).
+	NodeEnvRecover = "APSIM_NETNODE_RECOVER"
+)
+
+// ArgvMarker is the cosmetic argv tag children run under. Configuration
+// travels in the environment; the marker exists so process listings read
+// honestly and cleanup can `pkill -f apsim-netnode`.
+const ArgvMarker = "-node"
+
+// SocketPattern is the temp-directory pattern for unix sockets; it shares
+// the "apsim-netnode" stem with ArgvMarker's help text so one pkill pattern
+// covers both.
+const SocketPattern = "apsim-netnode-*"
+
+// childEnv reads the environment contract; ok is false when NodeEnvID is
+// absent (a normal, non-child invocation).
+func childEnv() (id, procs int, seed int64, network, addr string, recover_ bool, ok bool, err error) {
+	idStr := os.Getenv(NodeEnvID)
+	if idStr == "" {
+		return 0, 0, 0, "", "", false, false, nil
+	}
+	fail := func(e error) (int, int, int64, string, string, bool, bool, error) {
+		return 0, 0, 0, "", "", false, true, e
+	}
+	if id, err = strconv.Atoi(idStr); err != nil {
+		return fail(fmt.Errorf("netnode: bad %s: %v", NodeEnvID, err))
+	}
+	if procs, err = strconv.Atoi(os.Getenv(NodeEnvProcs)); err != nil || procs < 2 {
+		return fail(fmt.Errorf("netnode: bad %s %q", NodeEnvProcs, os.Getenv(NodeEnvProcs)))
+	}
+	if seed, err = strconv.ParseInt(os.Getenv(NodeEnvSeed), 10, 64); err != nil {
+		return fail(fmt.Errorf("netnode: bad %s %q", NodeEnvSeed, os.Getenv(NodeEnvSeed)))
+	}
+	network, addr, err = splitAddr(os.Getenv(NodeEnvAddr))
+	if err != nil {
+		return fail(err)
+	}
+	recover_ = os.Getenv(NodeEnvRecover) != "0"
+	return id, procs, seed, network, addr, recover_, true, nil
+}
+
+// splitAddr parses "unix:PATH" / "tcp:HOSTPORT".
+func splitAddr(s string) (network, addr string, err error) {
+	for _, n := range []string{"unix", "tcp"} {
+		if len(s) > len(n)+1 && s[:len(n)] == n && s[len(n)] == ':' {
+			return n, s[len(n)+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("netnode: bad %s %q (want unix:PATH or tcp:HOSTPORT)", NodeEnvAddr, s)
+}
+
+// Payload layouts. Every frame payload is one of:
+//
+//	hello:     uint32 node id, uint32 pid
+//	program:   uint16 program index, then lang.Format source bytes
+//	spawn:     uint16 program index, then proto.EncodePacket bytes
+//	result:    proto.EncodeResult bytes
+//	node-down: uint32 dead node id
+//	stats:     uint64 drained, uint64 reissues (child-local counters)
+//	heartbeat, shutdown: empty
+
+func helloPayload(id, pid int) []byte {
+	buf := binary.BigEndian.AppendUint32(nil, uint32(id))
+	return binary.BigEndian.AppendUint32(buf, uint32(pid))
+}
+
+func parseHello(p []byte) (id, pid int, err error) {
+	if len(p) != 8 {
+		return 0, 0, fmt.Errorf("netnode: hello payload %d bytes", len(p))
+	}
+	return int(binary.BigEndian.Uint32(p)), int(binary.BigEndian.Uint32(p[4:])), nil
+}
+
+func programPayload(idx uint16, src string) []byte {
+	buf := binary.BigEndian.AppendUint16(nil, idx)
+	return append(buf, src...)
+}
+
+func parseProgram(p []byte) (idx uint16, src string, err error) {
+	if len(p) < 2 {
+		return 0, "", fmt.Errorf("netnode: program payload %d bytes", len(p))
+	}
+	return binary.BigEndian.Uint16(p), string(p[2:]), nil
+}
+
+func spawnPayload(idx uint16, pkt *proto.TaskPacket) []byte {
+	buf := binary.BigEndian.AppendUint16(nil, idx)
+	return append(buf, proto.EncodePacket(pkt)...)
+}
+
+func parseSpawn(p []byte) (idx uint16, pkt *proto.TaskPacket, err error) {
+	if len(p) < 2 {
+		return 0, nil, fmt.Errorf("netnode: spawn payload %d bytes", len(p))
+	}
+	pkt, err = proto.DecodePacket(p[2:])
+	return binary.BigEndian.Uint16(p), pkt, err
+}
+
+func nodeDownPayload(dead int) []byte {
+	return binary.BigEndian.AppendUint32(nil, uint32(dead))
+}
+
+func parseNodeDown(p []byte) (int, error) {
+	if len(p) != 4 {
+		return 0, fmt.Errorf("netnode: node-down payload %d bytes", len(p))
+	}
+	return int(binary.BigEndian.Uint32(p)), nil
+}
+
+func statsPayload(drained, reissues int64) []byte {
+	buf := binary.BigEndian.AppendUint64(nil, uint64(drained))
+	return binary.BigEndian.AppendUint64(buf, uint64(reissues))
+}
+
+func parseStats(p []byte) (drained, reissues int64, err error) {
+	if len(p) != 16 {
+		return 0, 0, fmt.Errorf("netnode: stats payload %d bytes", len(p))
+	}
+	return int64(binary.BigEndian.Uint64(p)), int64(binary.BigEndian.Uint64(p[8:])), nil
+}

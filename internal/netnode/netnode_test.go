@@ -1,0 +1,515 @@
+package netnode
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/faults"
+	"repro/internal/lang"
+	"repro/internal/machine"
+	"repro/internal/proto"
+)
+
+// testParentEnv marks a re-exec of the test binary as the disposable parent
+// for TestNoOrphansAfterParentSIGKILL: bring up a cluster, print the node
+// pids, and hang until killed.
+const testParentEnv = "APSIM_NETNODE_TEST_PARENT"
+
+// TestMain is the re-exec hook: a spawned node process enters ChildMain and
+// never reaches the test runner — exactly the wiring cmd/apsim uses.
+func TestMain(m *testing.M) {
+	ChildMain()
+	if os.Getenv(testParentEnv) == "1" {
+		testParentMain()
+	}
+	os.Exit(m.Run())
+}
+
+func testParentMain() {
+	c, err := New(3, 1, Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	parts := make([]string, 0, 3)
+	for _, pid := range c.Pids() {
+		parts = append(parts, strconv.Itoa(pid))
+	}
+	fmt.Println(strings.Join(parts, " "))
+	select {} // wait for the SIGKILL; teardown must come from the kernel
+}
+
+// procAlive reports whether pid names a running (non-zombie) process, via
+// /proc so a zombie a slow init has not yet reaped still counts as dead.
+func procAlive(pid int) bool {
+	b, err := os.ReadFile(fmt.Sprintf("/proc/%d/stat", pid))
+	if err != nil {
+		return false
+	}
+	i := bytes.LastIndexByte(b, ')')
+	if i < 0 || i+2 >= len(b) {
+		return false
+	}
+	return b[i+2] != 'Z'
+}
+
+// requireAllDead polls until every pid is gone — the no-orphans acceptance
+// assertion.
+func requireAllDead(t *testing.T, pids []int) {
+	t.Helper()
+	if runtime.GOOS != "linux" {
+		t.Skip("orphan check reads /proc")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		alive := 0
+		for _, pid := range pids {
+			if procAlive(pid) {
+				alive++
+			}
+		}
+		if alive == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d node processes still alive after teardown (pids %v)", alive, pids)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestNetBackendRegistered(t *testing.T) {
+	b, err := core.ByName("net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "net" {
+		t.Fatalf("name = %q", b.Name())
+	}
+}
+
+func TestClusterFaultFree(t *testing.T) {
+	prog := lang.Fib()
+	c, err := New(4, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pids := c.Pids()
+	defer requireAllDead(t, pids)
+	defer c.Shutdown()
+	r, err := c.Submit(prog, "fib", []expr.Value{expr.VInt(12)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.WaitRequest(r, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lang.RefEval(prog, "fib", []expr.Value{expr.VInt(12)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(want) {
+		t.Fatalf("fib(12) = %v over processes, want %v", v, want)
+	}
+	spawned, reissued, _ := c.Stats()
+	if spawned == 0 {
+		t.Error("no tasks spawned")
+	}
+	if reissued != 0 {
+		t.Errorf("fault-free run reissued %d packets", reissued)
+	}
+	if c.Messages() == 0 || c.MsgBytes() <= c.Messages()*proto.FrameHeaderSize/2 {
+		t.Errorf("byte accounting implausible: %d msgs, %d bytes", c.Messages(), c.MsgBytes())
+	}
+}
+
+func TestClusterTCPTransport(t *testing.T) {
+	prog := lang.Fib()
+	c, err := New(3, 2, Options{TCP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	r, err := c.Submit(prog, "fib", []expr.Value{expr.VInt(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.WaitRequest(r, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(expr.VInt(55)) {
+		t.Fatalf("fib(10) = %v over tcp, want 55", v)
+	}
+}
+
+// TestClusterSurvivesTwoSIGKILLs crashes two node processes with SIGKILL
+// while the task tree is mid-flight; the answer must still match the
+// sequential reference — §2.1 determinacy across real process deaths.
+func TestClusterSurvivesTwoSIGKILLs(t *testing.T) {
+	prog := lang.Fib()
+	c, err := New(6, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pids := c.Pids()
+	defer requireAllDead(t, pids)
+	defer c.Shutdown()
+	r, err := c.Submit(prog, "fib", []expr.Value{expr.VInt(16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := c.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := c.Kill(4); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.WaitRequest(r, 60*time.Second)
+	if err != nil {
+		spawned, reissued, drained := c.Stats()
+		t.Fatalf("no answer after SIGKILLs: %v (spawned=%d reissued=%d drained=%d)",
+			err, spawned, reissued, drained)
+	}
+	if !v.Equal(expr.VInt(987)) {
+		t.Fatalf("fib(16) = %v after two SIGKILLs, want 987", v)
+	}
+	// The killed pids must already be gone — SIGKILL plus the eager reaper.
+	if runtime.GOOS == "linux" {
+		for _, id := range []int{1, 4} {
+			if procAlive(pids[id]) {
+				t.Errorf("SIGKILLed node %d (pid %d) still alive", id, pids[id])
+			}
+		}
+	}
+}
+
+// TestClusterRootReissue kills nodes hosting request roots: the supervisor
+// is every root's parent and must reissue from its retained packets.
+func TestClusterRootReissue(t *testing.T) {
+	prog := lang.Fib()
+	c, err := New(4, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	var reqs []*Request
+	for i := 0; i < 4; i++ {
+		r, err := c.Submit(prog, "fib", []expr.Value{expr.VInt(11)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, r)
+	}
+	// Roots spread round-robin over 4 nodes: killing 1 and 2 hits some.
+	if err := c.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	want, err := lang.RefEval(prog, "fib", []expr.Value{expr.VInt(11)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reqs {
+		v, err := c.WaitRequest(r, 60*time.Second)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if !v.Equal(want) {
+			t.Fatalf("request %d answer %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestKillValidation(t *testing.T) {
+	c, err := New(2, 7, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := c.Kill(9); err == nil {
+		t.Error("out-of-range kill accepted")
+	}
+	if err := c.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	// Death detection is the broken socket; give the router a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Kill(1) == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("double kill still accepted after 5s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestNoOrphansAfterClose opens a net session through the public backend,
+// runs a request, closes — and requires every node process gone.
+func TestNoOrphansAfterClose(t *testing.T) {
+	b := &Backend{Deadline: 20 * time.Second}
+	sess, err := b.Open(core.Config{Procs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pids := sess.(*session).c.Pids()
+	w, err := core.StandardWorkload("fib:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := sess.Submit(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := req.Wait()
+	if err != nil || !rep.Completed {
+		t.Fatalf("request failed: %v %+v", err, rep)
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	requireAllDead(t, pids)
+}
+
+// TestNoOrphansAfterParentSIGKILL crashes the *parent* with SIGKILL — the
+// case where no Go cleanup runs — and requires the kernel's pdeathsig to
+// take the node processes down with it.
+func TestNoOrphansAfterParentSIGKILL(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("pdeathsig is linux-only; elsewhere the socket watchdog covers parent *exit* only")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), testParentEnv+"=1")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+	line, err := bufio.NewReader(out).ReadString('\n')
+	if err != nil {
+		t.Fatalf("parent never reported pids: %v", err)
+	}
+	var pids []int
+	for _, f := range strings.Fields(strings.TrimSpace(line)) {
+		pid, err := strconv.Atoi(f)
+		if err != nil {
+			t.Fatalf("bad pid line %q", line)
+		}
+		pids = append(pids, pid)
+	}
+	if len(pids) != 3 {
+		t.Fatalf("pid line %q, want 3 pids", line)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+	requireAllDead(t, pids)
+}
+
+// TestNetServiceStream drives the full core session surface — SubmitSpec
+// tickets, a mid-stream two-node SIGKILL burst, reference verification, and
+// the ServiceReport — through the process backend.
+func TestNetServiceStream(t *testing.T) {
+	const procs, requests = 6, 8
+	cl, err := core.OpenOn("net", core.Config{Procs: procs, Seed: 11, Recovery: "rollback"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []string{"fib:10", "fib:11", "tree:2,4", "tak:7,4,2"}
+	var wg sync.WaitGroup
+	tkCh := make(chan *core.Ticket, requests)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(spec string) {
+			defer wg.Done()
+			tk, err := cl.SubmitSpec(spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tkCh <- tk
+		}(specs[i%len(specs)])
+	}
+	if err := cl.Inject(faults.Burst(procs, 2, 2000, faults.CrashAnnounced, 7)); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(tkCh)
+	for tk := range tkCh {
+		if _, err := tk.Verify(); err != nil {
+			t.Fatalf("request %q: %v", tk.Workload().Spec, err)
+		}
+	}
+	sr, err := cl.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Completed != requests || sr.Failed != 0 {
+		t.Fatalf("completed %d failed %d, want %d/0\n%s", sr.Completed, sr.Failed, requests, sr.Render())
+	}
+	if sr.Backend != "net" || sr.Unit != core.WallMicros {
+		t.Fatalf("backend/unit = %s/%s", sr.Backend, sr.Unit)
+	}
+	if len(sr.FaultStamps) != 2 {
+		t.Fatalf("fault stamps = %v, want 2 kills", sr.FaultStamps)
+	}
+	if sr.Messages == 0 || sr.MsgBytes == 0 {
+		t.Fatalf("message accounting empty: %d msgs, %d bytes", sr.Messages, sr.MsgBytes)
+	}
+}
+
+// TestNetAdmissionQueue bounds concurrency at one slot: queued requests are
+// admitted in order as slots free and all complete.
+func TestNetAdmissionQueue(t *testing.T) {
+	b := &Backend{Deadline: 20 * time.Second}
+	sess, err := b.Open(core.Config{Procs: 3, Seed: 2, MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	w, err := core.StandardWorkload("fib:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []core.SessionRequest
+	for i := 0; i < 3; i++ {
+		req, err := sess.Submit(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, req)
+	}
+	for i, req := range reqs {
+		rep, err := req.Wait()
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if !rep.Completed {
+			t.Fatalf("request %d not completed: %+v", i, rep)
+		}
+	}
+	rep, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QueueDepthMax < 1 {
+		t.Fatalf("queue depth max = %d, want >= 1", rep.QueueDepthMax)
+	}
+}
+
+// TestNetAdmissionShed drops overload instead of queueing it.
+func TestNetAdmissionShed(t *testing.T) {
+	b := &Backend{Deadline: 20 * time.Second}
+	sess, err := b.Open(core.Config{Procs: 3, Seed: 2, MaxInFlight: 1, Admission: "shed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	w, err := core.StandardWorkload("fib:12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Submit(w); err != nil {
+		t.Fatal(err)
+	}
+	req2, err := sess.Submit(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := req2.Wait()
+	if err != core.ErrShed {
+		t.Fatalf("overload wait = %v, want core.ErrShed", err)
+	}
+	if !rep.Shed || rep.Completed {
+		t.Fatalf("shed report wrong: %+v", rep)
+	}
+}
+
+func TestNetRejectsUnsupportedConfigs(t *testing.T) {
+	w, err := core.StandardWorkload("fib:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := &Backend{Deadline: 20 * time.Second}
+	cases := []struct {
+		cfg  core.Config
+		plan *faults.Plan
+		want string
+	}{
+		{core.Config{Recovery: "splice"}, nil, "recovery"},
+		{core.Config{Placement: "gradient"}, nil, "placement"},
+		{core.Config{Replication: map[string]int{"work": 3}}, nil, "replication"},
+		{core.Config{DisableCheckpoints: true}, nil, "checkpoints"},
+		{core.Config{Raw: &machine.Config{}}, nil, "Raw"},
+		{core.Config{RecoveryBudget: 2}, nil, "budget"},
+		{core.Config{RecoveryPeriod: 4}, nil, "budget"},
+		{core.Config{Admission: "lifo"}, nil, "admission"},
+		{core.Config{}, &faults.Plan{Faults: []faults.Fault{{At: 1, Proc: 0, Kind: faults.Corrupt}}}, "corruption"},
+		{core.Config{Procs: 2}, faults.Burst(2, 2, 1, faults.CrashAnnounced, 1), "survive"},
+		{core.Config{}, faults.Crash(proto.ProcID(99), 1, true), "out of range"},
+	}
+	for _, tc := range cases {
+		_, err := short.Run(tc.cfg, w, tc.plan)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("cfg %+v: err = %v, want containing %q", tc.cfg, err, tc.want)
+		}
+	}
+}
+
+// TestNetMatchesSimAnswer runs the same workload on the simulator and the
+// process cluster and requires identical answers — the cross-substrate
+// determinacy claim the L5 artifact generalizes.
+func TestNetMatchesSimAnswer(t *testing.T) {
+	w, err := core.StandardWorkload("tak:8,5,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := core.ByName("sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRep, err := sim.Run(core.Config{Procs: 4, Seed: 3}, w, nil)
+	if err != nil || !simRep.Completed {
+		t.Fatalf("sim run failed: %v %+v", err, simRep)
+	}
+	netRep, err := (&Backend{Deadline: 20 * time.Second}).Run(core.Config{Procs: 4, Seed: 3}, w, nil)
+	if err != nil || !netRep.Completed {
+		t.Fatalf("net run failed: %v %+v", err, netRep)
+	}
+	if !netRep.Answer.Equal(simRep.Answer) {
+		t.Fatalf("answers diverge: sim %v, net %v", simRep.Answer, netRep.Answer)
+	}
+	if simRep.MsgBytes == 0 || netRep.MsgBytes == 0 {
+		t.Fatalf("byte accounting missing: sim %d, net %d", simRep.MsgBytes, netRep.MsgBytes)
+	}
+	if len(netRep.ReissuesByNode) != 4 {
+		t.Fatalf("per-node stats = %v, want 4 entries", netRep.ReissuesByNode)
+	}
+}

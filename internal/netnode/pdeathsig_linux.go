@@ -1,0 +1,15 @@
+//go:build linux
+
+package netnode
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setPdeathsig asks the kernel to SIGKILL the child the instant its parent
+// thread dies — the orphan-prevention layer that works even when the parent
+// is itself SIGKILLed and no Go code runs.
+func setPdeathsig(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Pdeathsig: syscall.SIGKILL}
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package netnode
+
+import "os/exec"
+
+// setPdeathsig is a no-op off linux; children still exit when the parent's
+// socket breaks (the portable orphan watchdog in runChild).
+func setPdeathsig(cmd *exec.Cmd) {}

@@ -1,0 +1,162 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/stamp"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	pkt := &TaskPacket{
+		Key:    TaskKey{Stamp: stamp.FromPath(3, 1)},
+		Fn:     "fib",
+		Args:   []expr.Value{expr.VInt(12)},
+		Parent: Addr{Proc: 2, Task: TaskKey{Stamp: stamp.FromPath(3)}},
+		HoleID: 1,
+	}
+	frames := []*Frame{
+		{Type: FrameHello, From: 3, To: HostID, Payload: []byte{0, 0, 0, 3}},
+		{Type: FrameSpawn, Flags: FlagReissue, From: 1, To: 5, Payload: EncodePacket(pkt)},
+		{Type: FrameHeartbeat, From: 0, To: HostID},
+		{Type: FrameNodeDown, From: HostID, To: 4, Payload: []byte{0, 0, 0, 2}},
+	}
+	var buf bytes.Buffer
+	total := 0
+	for _, f := range frames {
+		n, err := WriteFrame(&buf, f)
+		if err != nil {
+			t.Fatalf("WriteFrame(%v): %v", f.Type, err)
+		}
+		if n != f.WireSize() {
+			t.Fatalf("WriteFrame(%v) wrote %d bytes, WireSize says %d", f.Type, n, f.WireSize())
+		}
+		total += n
+	}
+	if buf.Len() != total {
+		t.Fatalf("stream length %d != sum of writes %d", buf.Len(), total)
+	}
+	for _, want := range frames {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame(%v): %v", want.Type, err)
+		}
+		if got.Type != want.Type || got.Flags != want.Flags ||
+			got.From != want.From || got.To != want.To ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("ReadFrame at boundary = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameSpawnPayloadRoundTrip(t *testing.T) {
+	pkt := &TaskPacket{
+		Key:       TaskKey{Stamp: stamp.FromPath(0, 2, 7)},
+		Gen:       3,
+		ParentGen: 1,
+		Fn:        "tak",
+		Args:      []expr.Value{expr.VInt(8), expr.VInt(4), expr.VInt(2)},
+		Parent:    Addr{Proc: 1, Task: TaskKey{Stamp: stamp.FromPath(0, 2)}},
+		HoleID:    7,
+		Reissue:   true,
+	}
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, &Frame{Type: FrameSpawn, From: 1, To: 2, Payload: EncodePacket(pkt)}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePacket(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != pkt.Key || got.Fn != pkt.Fn || got.HoleID != pkt.HoleID || !got.Reissue {
+		t.Fatalf("packet through a frame: got %+v, want %+v", got, pkt)
+	}
+}
+
+// TestFrameMalformed is the wire-boundary rejection table: every truncated or
+// corrupt prefix must fail with a typed error, never hang or panic, because
+// the codec now reads from real sockets fed by other processes.
+func TestFrameMalformed(t *testing.T) {
+	valid := AppendFrame(nil, &Frame{Type: FrameSpawn, From: 1, To: 2, Payload: []byte("payload")})
+	oversize := AppendFrame(nil, &Frame{Type: FrameHeartbeat, From: 0, To: HostID})
+	oversize[0], oversize[1], oversize[2], oversize[3] = 0xff, 0xff, 0xff, 0xff
+	badType := append([]byte(nil), valid...)
+	badType[4] = 0 // zero type: the all-zero torn-stream shape
+	hugeType := append([]byte(nil), valid...)
+	hugeType[4] = byte(frameTypeEnd)
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"empty stream", nil, io.EOF},
+		{"torn header", valid[:3], io.ErrUnexpectedEOF},
+		{"header only", valid[:FrameHeaderSize], io.ErrUnexpectedEOF},
+		{"torn payload", valid[:len(valid)-2], io.ErrUnexpectedEOF},
+		{"zero type", badType, ErrFrame},
+		{"unknown type", hugeType, ErrFrame},
+		{"oversized length", oversize, ErrFrame},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadFrame(bytes.NewReader(tc.in))
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("ReadFrame(%q) = %v, want %v", tc.in, err, tc.want)
+			}
+		})
+	}
+	// The write side refuses what the read side would reject.
+	if _, err := WriteFrame(io.Discard, &Frame{Type: 0}); !errors.Is(err, ErrFrame) {
+		t.Fatalf("WriteFrame(type 0) = %v, want ErrFrame", err)
+	}
+	if _, err := WriteFrame(io.Discard, &Frame{Type: FrameSpawn, Payload: make([]byte, MaxFramePayload+1)}); !errors.Is(err, ErrFrame) {
+		t.Fatalf("WriteFrame(oversize) = %v, want ErrFrame", err)
+	}
+}
+
+// TestPacketMalformed is the codec-level rejection table: truncations of a
+// valid packet/result encoding at every field boundary must fail cleanly.
+func TestPacketMalformed(t *testing.T) {
+	pkt := &TaskPacket{
+		Key:       TaskKey{Stamp: stamp.FromPath(1, 2)},
+		Fn:        "f",
+		Args:      []expr.Value{expr.VInt(7), expr.IntList(1, 2)},
+		Parent:    Addr{Proc: 3, Task: TaskKey{Stamp: stamp.FromPath(1)}},
+		HoleID:    2,
+		Ancestors: []Addr{{Proc: 0, Task: TaskKey{Stamp: stamp.Root()}}},
+	}
+	enc := EncodePacket(pkt)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodePacket(enc[:cut]); !errors.Is(err, ErrPacketCodec) {
+			t.Fatalf("DecodePacket(enc[:%d]) = %v, want ErrPacketCodec", cut, err)
+		}
+	}
+	if _, err := DecodePacket(append(append([]byte(nil), enc...), 0xaa)); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("DecodePacket(trailing byte) = %v, want trailing-bytes error", err)
+	}
+	res := &Result{
+		Child:      TaskKey{Stamp: stamp.FromPath(1, 2)},
+		ParentTask: TaskKey{Stamp: stamp.FromPath(1)},
+		HoleID:     2,
+		Value:      expr.VInt(9),
+		DeadParent: Addr{Proc: 1, Task: TaskKey{Stamp: stamp.FromPath(1)}},
+	}
+	encR := EncodeResult(res)
+	for cut := 0; cut < len(encR); cut++ {
+		if _, err := DecodeResult(encR[:cut]); !errors.Is(err, ErrPacketCodec) {
+			t.Fatalf("DecodeResult(enc[:%d]) = %v, want ErrPacketCodec", cut, err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/stamp"
+)
+
+// The codec is now a real wire boundary: net-backend children decode bytes
+// produced by another OS process, so arbitrary input must either decode
+// cleanly or fail with a typed error — never panic, hang, or decode into a
+// value that does not re-encode canonically. Seed corpus lives under
+// testdata/fuzz; run with `go test -fuzz FuzzDecodePacket ./internal/proto`.
+
+func fuzzSeedPacket() *TaskPacket {
+	return &TaskPacket{
+		Key:       TaskKey{Stamp: stamp.FromPath(2, 0, 5), Rep: 1},
+		Gen:       4,
+		ParentGen: 2,
+		Fn:        "fib",
+		Args:      []expr.Value{expr.VInt(17), expr.IntList(3, 1, 4)},
+		Parent:    Addr{Proc: 6, Task: TaskKey{Stamp: stamp.FromPath(2, 0)}},
+		HoleID:    5,
+		Ancestors: []Addr{{Proc: 2, Task: TaskKey{Stamp: stamp.FromPath(2)}}},
+		Twin:      true,
+		Replicas:  1,
+	}
+}
+
+func FuzzDecodePacket(f *testing.F) {
+	enc := EncodePacket(fuzzSeedPacket())
+	f.Add(enc)
+	f.Add(enc[:len(enc)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePacket(data)
+		if err != nil {
+			if !errors.Is(err, ErrPacketCodec) {
+				t.Fatalf("DecodePacket error not wrapped in ErrPacketCodec: %v", err)
+			}
+			return
+		}
+		// Accepted input must re-encode canonically: a second round trip is
+		// a fixed point (the first may normalize, e.g. unknown flag bits).
+		enc1 := EncodePacket(p)
+		p2, err := DecodePacket(enc1)
+		if err != nil {
+			t.Fatalf("re-decode of accepted packet failed: %v", err)
+		}
+		if enc2 := EncodePacket(p2); !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode not a fixed point:\n  enc1 %x\n  enc2 %x", enc1, enc2)
+		}
+	})
+}
+
+func FuzzDecodeResult(f *testing.F) {
+	enc := EncodeResult(&Result{
+		Child:      TaskKey{Stamp: stamp.FromPath(1, 3)},
+		ParentTask: TaskKey{Stamp: stamp.FromPath(1)},
+		HoleID:     3,
+		Value:      expr.IntList(8, 13),
+		DeadParent: Addr{Proc: 4, Task: TaskKey{Stamp: stamp.FromPath(1)}},
+		Remaining:  []Addr{{Proc: 0, Task: TaskKey{Stamp: stamp.Root()}}},
+	})
+	f.Add(enc)
+	f.Add(enc[:len(enc)-3])
+	f.Add([]byte{0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeResult(data)
+		if err != nil {
+			if !errors.Is(err, ErrPacketCodec) {
+				t.Fatalf("DecodeResult error not wrapped in ErrPacketCodec: %v", err)
+			}
+			return
+		}
+		enc1 := EncodeResult(r)
+		r2, err := DecodeResult(enc1)
+		if err != nil {
+			t.Fatalf("re-decode of accepted result failed: %v", err)
+		}
+		if enc2 := EncodeResult(r2); !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode not a fixed point:\n  enc1 %x\n  enc2 %x", enc1, enc2)
+		}
+	})
+}
+
+func FuzzReadFrame(f *testing.F) {
+	one := AppendFrame(nil, &Frame{Type: FrameHeartbeat, From: 2, To: HostID})
+	two := AppendFrame(one, &Frame{
+		Type: FrameSpawn, Flags: FlagReissue, From: HostID, To: 3,
+		Payload: EncodePacket(fuzzSeedPacket()),
+	})
+	f.Add(two)
+	f.Add(one[:FrameHeaderSize-2])
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			fr, err := ReadFrame(r)
+			if err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF && !errors.Is(err, ErrFrame) {
+					t.Fatalf("ReadFrame error outside the contract: %v", err)
+				}
+				return
+			}
+			var buf bytes.Buffer
+			if _, err := WriteFrame(&buf, fr); err != nil {
+				t.Fatalf("accepted frame does not re-write: %v", err)
+			}
+			back, err := ReadFrame(&buf)
+			if err != nil {
+				t.Fatalf("re-read of accepted frame failed: %v", err)
+			}
+			if back.Type != fr.Type || back.Flags != fr.Flags ||
+				back.From != fr.From || back.To != fr.To ||
+				!bytes.Equal(back.Payload, fr.Payload) {
+				t.Fatalf("frame round trip drifted: %+v vs %+v", back, fr)
+			}
+		}
+	})
+}

@@ -1,6 +1,6 @@
 // Package runner is the experiment engine: a registry of reproduction
 // artifacts (figures F1–F7, tables T1–T7, ablations A1–A4, stress scenarios
-// S1–S5, service/live artifacts L1–L4), a worker pool that fans
+// S1–S6, service/live artifacts L1–L5), a worker pool that fans
 // (experiment × seed) cells out across
 // goroutines, and a stats aggregator that folds per-seed tables into
 // mean/min/max summaries with effect-size classification. cmd/experiments,
@@ -212,7 +212,7 @@ var (
 )
 
 // Default returns the registry of every artifact indexed in DESIGN.md plus
-// the stress scenarios S1–S5 and the live/service artifacts L1–L4, with
+// the stress scenarios S1–S6 and the live/service artifacts L1–L5, with
 // the canonical parameters the report uses.
 func Default() *Registry {
 	defaultOnce.Do(func() {
@@ -257,6 +257,8 @@ func Default() *Registry {
 				Backends: []string{"sim", "live"}, TableOn: experiments.L3StreamThroughput},
 			{ID: "L4", Title: "Live backend: open-loop saturation under bounded admission", Kind: KindTable,
 				Backends: []string{"live"}, Table: experiments.L4LiveSaturation},
+			{ID: "L5", Title: "Net backend: process-cluster parity and SIGKILL burst mid-stream", Kind: KindTable,
+				Backends: []string{"net"}, Table: experiments.L5NetParity},
 		} {
 			defaultReg.MustRegister(e)
 		}

@@ -17,7 +17,7 @@ var cliIDs = []string{
 	"T1", "T2", "T3", "T4", "T5", "T6", "T7",
 	"A1", "A2", "A3", "A4",
 	"S1", "S2", "S3", "S4", "S5", "S6",
-	"L1", "L2", "L3", "L4",
+	"L1", "L2", "L3", "L4", "L5",
 }
 
 func TestDefaultRegistryResolvesEveryCLIID(t *testing.T) {
