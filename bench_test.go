@@ -386,6 +386,25 @@ func BenchmarkKernelS1Mesh64(b *testing.B) {
 	b.ReportMetric(float64(last.Sim.Metrics.TotalMessages()), "msgs")
 }
 
+// BenchmarkKernelS1Mesh64Compiled is the same S1 cell under the bytecode
+// evaluator. The virtual metrics must match BenchmarkKernelS1Mesh64 exactly
+// (the compiled evaluator preserves the step-count contract); only ns/op
+// may move, tracking what compilation buys on the reduction hot path.
+func BenchmarkKernelS1Mesh64Compiled(b *testing.B) {
+	w := mustWorkload(b, "fib:13")
+	cfg := core.Config{Procs: 64, Seed: 1, Recovery: "rollback", Topology: "mesh", Eval: "compiled"}
+	var last *core.Report
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		last = runOnce(b, cfg, w, nil)
+		if !last.Completed {
+			b.Fatal("compiled S1 mesh cell did not complete")
+		}
+	}
+	b.ReportMetric(float64(last.Makespan), "vticks")
+	b.ReportMetric(float64(last.Sim.Metrics.TotalMessages()), "msgs")
+}
+
 // BenchmarkKernelS1Mesh64Sharded4 is the same S1 cell on the 4-shard
 // conservative kernel. The virtual metrics must match BenchmarkKernelS1Mesh64
 // exactly (sharding is a pure representation change); only ns/op may move,
@@ -413,6 +432,21 @@ func BenchmarkServiceL3StreamSharded4(b *testing.B) {
 	saved := core.DefaultShards
 	core.DefaultShards = 4
 	defer func() { core.DefaultShards = saved }()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceL3StreamCompiled runs the L3 service stream under the
+// bytecode evaluator — the second profile target's compiled series.
+func BenchmarkServiceL3StreamCompiled(b *testing.B) {
+	run := lookupTable(b, "L3")
+	saved := core.DefaultEval
+	core.DefaultEval = "compiled"
+	defer func() { core.DefaultEval = saved }()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := run(1); err != nil {

@@ -56,6 +56,7 @@ func main() {
 		topo      = flag.String("topology", "mesh", "ring|mesh|hypercube|complete|star")
 		placement = flag.String("placement", "random", "random|gradient|static|local")
 		recov     = flag.String("recovery", "none", "recovery scheme: "+strings.Join(recovery.Names(), "|"))
+		eval      = flag.String("eval", "", "evaluator for task reduction passes: "+lang.EvaluatorHelp()+" (default interp; traces are byte-identical either way)")
 		scheme    = flag.String("scheme", "", "alias for -recovery: "+strings.Join(recovery.Names(), "|"))
 		ancestors = flag.Int("ancestors", 2, "ancestor-pointer depth K (§5.2)")
 		replicate = flag.Int("replicate", 1, "replica count for every function (§5.3; requires -recovery none)")
@@ -85,6 +86,13 @@ func main() {
 		// Validate eagerly so a typo fails here with the registry's name
 		// list, not deep inside the first request of a service stream.
 		if _, err := recovery.ByName(*recov); err != nil {
+			fatal(err)
+		}
+	}
+	if *eval != "" {
+		// Same eager validation: fail with the evaluator registry's name
+		// list before any cluster comes up.
+		if _, err := lang.EvaluatorByName(*eval); err != nil {
 			fatal(err)
 		}
 	}
@@ -136,6 +144,7 @@ func main() {
 		Topology:       *topo,
 		Placement:      *placement,
 		Recovery:       *recov,
+		Eval:           *eval,
 		AncestorDepth:  *ancestors,
 		Seed:           *seed,
 		Shards:         *shards,

@@ -35,10 +35,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/lang"
 	"repro/internal/netnode"
 	"repro/internal/runner"
 )
@@ -46,6 +48,11 @@ import (
 func main() {
 	// A re-exec'd node process (net backend) enters here and never returns.
 	netnode.ChildMain()
+	// Batch harness, not a resident service: the simulator's hot loop is
+	// allocation-heavy and on one core every collection steals mutator
+	// time, so trade heap headroom for wall time. Affects only wall-clock
+	// columns (B1); every virtual-time artifact is GC-invariant.
+	debug.SetGCPercent(400)
 	var (
 		exp      = flag.String("exp", "all", "artifacts: all, one id (F1/F2/F5/F6/F7, T1..T7, A1..A4, S1..S6, L1..L5, any case; see -list), or a comma-separated list")
 		run      = flag.String("run", "", "alias for -exp (takes precedence when set)")
@@ -58,12 +65,20 @@ func main() {
 		list     = flag.Bool("list", false, "list the registered artifacts and exit")
 		bench    = flag.Int("bench", 0, "with -json: append the B1 wall-time artifact, timing each profile target this many reps (nondeterministic; for BENCH_N.json snapshots, never for EXPERIMENTS.md)")
 		shards   = flag.Int("shards", 1, "simulation kernel shards per cell (0 = GOMAXPROCS); every artifact is byte-identical at every shard count, so this only trades wall-clock time")
+		eval     = flag.String("eval", "", "evaluator for task reduction passes: "+lang.EvaluatorHelp()+" (default interp); every artifact is byte-identical under either, so this only trades wall-clock time")
 	)
 	flag.Parse()
 	if *shards <= 0 {
 		core.DefaultShards = runtime.GOMAXPROCS(0)
 	} else {
 		core.DefaultShards = *shards
+	}
+	if *eval != "" {
+		if _, err := lang.EvaluatorByName(*eval); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		core.DefaultEval = *eval
 	}
 	if *asJSON && *asDoc {
 		fmt.Fprintln(os.Stderr, "experiments: -json and -markdown are mutually exclusive")

@@ -55,6 +55,14 @@ const (
 // MaxGradient is the "infinitely far from idle" value.
 const MaxGradient = 1 << 20
 
+// liveView is an optional View extension: a view that maintains its faulty
+// count lets Random place without scanning the whole faulty bitmap. The
+// count must agree exactly with IsFaulty — live processors are the Intn
+// modulus, so a drifting count would change every subsequent draw.
+type liveView interface {
+	FaultyCount() int
+}
+
 // Policy decides where spawned tasks go.
 type Policy interface {
 	Name() string
@@ -99,17 +107,27 @@ func (*Random) PickDest(v View, _ proto.TaskKey) proto.ProcID {
 	n := v.Size()
 	// Count live candidates, draw one uniformly, then walk to it: one Intn
 	// over the live count, exactly the draw the slice-collecting version
-	// made, without materializing the candidate list.
-	live := 0
-	for i := 0; i < n; i++ {
-		if !v.IsFaulty(proto.ProcID(i)) {
-			live++
+	// made, without materializing the candidate list. A view that tracks
+	// its faulty count (liveView) skips the counting pass, and — in the
+	// all-live case, which is every draw of a fault-free run — the walk
+	// too: the k-th live processor of an all-live machine is processor k.
+	live, counted := 0, false
+	if lv, ok := v.(liveView); ok {
+		live, counted = n-lv.FaultyCount(), true
+	} else {
+		for i := 0; i < n; i++ {
+			if !v.IsFaulty(proto.ProcID(i)) {
+				live++
+			}
 		}
 	}
-	if live == 0 {
+	if live <= 0 {
 		return v.Self()
 	}
 	k := v.Rand().Intn(live)
+	if counted && live == n {
+		return proto.ProcID(k)
+	}
 	for i := 0; i < n; i++ {
 		if p := proto.ProcID(i); !v.IsFaulty(p) {
 			if k == 0 {

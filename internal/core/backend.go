@@ -3,13 +3,13 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/expr"
 	"repro/internal/faults"
 	"repro/internal/lang"
 	"repro/internal/machine"
+	"repro/internal/registry"
 )
 
 // TimeUnit names the unit a backend measures makespan in: the simulator
@@ -156,30 +156,16 @@ type SessionRequest interface {
 	Wait() (*Report, error)
 }
 
-var (
-	backendMu    sync.RWMutex
-	backendOrder []string
-	backendByNm  = map[string]Backend{}
-)
+// backends is the backend registry; its error text lists the known
+// backends in exactly the Backends() order, so help strings and error
+// messages can never drift apart.
+var backends = registry.New[Backend]("core", "backend")
 
 // RegisterBackend adds a backend to the registry. Duplicate or empty names
 // are errors. Backends register themselves in package init (the simulator
 // here, the live network in internal/livenet), so importing a backend's
 // package is what makes it selectable.
-func RegisterBackend(b Backend) error {
-	name := b.Name()
-	if name == "" {
-		return fmt.Errorf("core: backend name required")
-	}
-	backendMu.Lock()
-	defer backendMu.Unlock()
-	if _, dup := backendByNm[name]; dup {
-		return fmt.Errorf("core: duplicate backend %q", name)
-	}
-	backendByNm[name] = b
-	backendOrder = append(backendOrder, name)
-	return nil
-}
+func RegisterBackend(b Backend) error { return backends.Register(b.Name(), b) }
 
 // MustRegisterBackend is RegisterBackend for init-time wiring.
 func MustRegisterBackend(b Backend) {
@@ -188,33 +174,14 @@ func MustRegisterBackend(b Backend) {
 	}
 }
 
-// ByName resolves a registered backend. The error text lists the known
-// backends in exactly the Backends() order, so help strings and error
-// messages can never drift apart.
-func ByName(name string) (Backend, error) {
-	backendMu.RLock()
-	defer backendMu.RUnlock()
-	if b, ok := backendByNm[name]; ok {
-		return b, nil
-	}
-	return nil, fmt.Errorf("core: unknown backend %q (known: %v)", name, sortedBackendsLocked())
-}
+// ByName resolves a registered backend; the error text lists the registered
+// names so callers can surface it verbatim.
+func ByName(name string) (Backend, error) { return backends.Get(name) }
 
 // Backends lists the registered backend names in the one documented order:
 // sorted alphabetically ("live" before "sim" once internal/livenet is
 // linked in). ByName error text and every CLI help string use this order.
-func Backends() []string {
-	backendMu.RLock()
-	defer backendMu.RUnlock()
-	return sortedBackendsLocked()
-}
-
-// sortedBackendsLocked returns the sorted name list; callers hold backendMu.
-func sortedBackendsLocked() []string {
-	out := append([]string(nil), backendOrder...)
-	sort.Strings(out)
-	return out
-}
+func Backends() []string { return backends.Names() }
 
 // simBackend runs the discrete-event simulator (internal/machine).
 type simBackend struct{}
@@ -283,7 +250,7 @@ func verifyReport(rep *Report, w Workload) error {
 	if !rep.Completed {
 		return fmt.Errorf("core: run did not complete (makespan %d %s)", rep.Makespan, rep.Unit)
 	}
-	want, err := lang.RefEval(w.Program, w.Fn, w.Args)
+	want, err := refAnswer(w)
 	if err != nil {
 		return err
 	}
@@ -291,4 +258,31 @@ func verifyReport(rep *Report, w Workload) error {
 		return fmt.Errorf("core: answer %v != reference %v", rep.Answer, want)
 	}
 	return nil
+}
+
+// refAnswer is lang.RefEval memoized by workload identity. The reference
+// evaluator is deterministic and programs are immutable once built (§2.1 —
+// determinacy is the property being verified), so a service stream that
+// admits the same spec many times pays for one reference evaluation, not
+// one per request. Keyed by program pointer plus the rendered entry call;
+// entries are answer values, so the cache stays small for any realistic
+// request mix.
+var refAnswers sync.Map // refKey -> expr.Value
+
+type refKey struct {
+	prog *lang.Program
+	call string
+}
+
+func refAnswer(w Workload) (expr.Value, error) {
+	key := refKey{prog: w.Program, call: fmt.Sprintf("%s %v", w.Fn, w.Args)}
+	if v, ok := refAnswers.Load(key); ok {
+		return v.(expr.Value), nil
+	}
+	want, err := lang.RefEval(w.Program, w.Fn, w.Args)
+	if err != nil {
+		return nil, err
+	}
+	refAnswers.Store(key, want)
+	return want, nil
 }

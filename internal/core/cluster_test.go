@@ -53,9 +53,9 @@ func TestBackendsOrderIsDocumentedOrder(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown backend resolved")
 	}
-	want := fmt.Sprintf("%v", names)
-	if !strings.Contains(err.Error(), want) {
-		t.Fatalf("ByName error %q does not list Backends() order %q", err, want)
+	want := fmt.Sprintf("core: unknown backend %q (known: %s)", "nosuch", strings.Join(names, ", "))
+	if err.Error() != want {
+		t.Fatalf("ByName error %q != %q", err, want)
 	}
 }
 

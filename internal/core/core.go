@@ -78,6 +78,11 @@ type Config struct {
 	// single-shard reference. 0 uses DefaultShards; negative derives the
 	// count from GOMAXPROCS.
 	Shards int
+	// Eval names the evaluator that runs task reduction passes: "interp"
+	// (tree-walking reference) or "compiled" (bytecode VM). 0 uses
+	// DefaultEval. Traces are byte-identical either way; only wall time
+	// changes.
+	Eval string
 	// DisableCheckpoints turns functional checkpointing off entirely.
 	DisableCheckpoints bool
 	// Trace enables event logging when true.
@@ -159,6 +164,12 @@ func (c Config) arrival() (*workload.Arrival, error) {
 // results are byte-identical at every shard count, changing it never changes
 // any report — only wall-clock time.
 var DefaultShards = 1
+
+// DefaultEval is the process-wide evaluator name used when Config.Eval is
+// empty, mirroring DefaultShards: tools set it once at startup and every
+// cell inherits it. Because both evaluators produce byte-identical traces,
+// changing it never changes any report — only wall-clock time.
+var DefaultEval = lang.DefaultEvaluator
 
 // Workload names a program and its invocation.
 type Workload struct {
@@ -339,6 +350,12 @@ func (c Config) Build(prog *lang.Program) (*machine.Machine, error) {
 	}
 	if c.DisableCheckpoints {
 		mc.DisableCheckpoints = true
+	}
+	if mc.Eval == "" {
+		mc.Eval = c.Eval
+		if mc.Eval == "" {
+			mc.Eval = DefaultEval
+		}
 	}
 	if mc.Shards == 0 {
 		mc.Shards = c.Shards

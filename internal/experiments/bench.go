@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -49,53 +50,76 @@ func B1WallTime(reps int) (*Table, error) {
 		run  func() (makespan, messages int64, err error)
 	}
 	var targets []target
-	for _, shards := range B1Shards {
-		shards := shards
-		suffix := ""
-		if shards > 1 {
-			suffix = fmt.Sprintf(", %d shards", shards)
-		}
-		targets = append(targets,
-			target{B1Targets[0] + suffix, func() (int64, int64, error) {
-				w, err := core.StandardWorkload("fib:13")
-				if err != nil {
-					return 0, 0, err
-				}
-				rep, err := core.Config{Procs: 64, Seed: 1, Recovery: "rollback",
-					Topology: "mesh", Shards: shards}.Run(w, nil)
-				if err != nil {
-					return 0, 0, err
-				}
-				if rep.Err != nil || !rep.Completed {
-					return 0, 0, fmt.Errorf("experiments: B1 S1-64 cell incomplete")
-				}
-				return int64(rep.Makespan), rep.Sim.Metrics.TotalMessages(), nil
-			}},
-			target{B1Targets[1] + suffix, func() (int64, int64, error) {
-				// The stream driver builds its configs internally, so the shard
-				// count rides in on the process default for the duration of the
-				// run (B1 is always timed single-threaded).
-				saved := core.DefaultShards
-				core.DefaultShards = shards
-				tb, err := L3StreamThroughput("sim", 1)
-				core.DefaultShards = saved
-				if err != nil {
-					return 0, 0, err
-				}
-				// Fold the stream table into one deterministic fingerprint: the
-				// sum over its numeric cells is byte-stable run to run.
-				var sum int64
-				for _, row := range tb.Rows {
-					for _, c := range row {
-						if c.IsNum {
-							sum += int64(c.Num)
+	for _, eval := range []string{"interp", "compiled"} {
+		eval := eval
+		for _, shards := range B1Shards {
+			shards := shards
+			suffix := ""
+			if shards > 1 {
+				suffix = fmt.Sprintf(", %d shards", shards)
+			}
+			if eval != "interp" {
+				// Interp rows keep their historical names so snapshots stay
+				// comparable across the evaluator's introduction; compiled
+				// rows are a new tracked series.
+				suffix += ", compiled"
+			}
+			targets = append(targets,
+				target{B1Targets[0] + suffix, func() (int64, int64, error) {
+					w, err := core.StandardWorkload("fib:13")
+					if err != nil {
+						return 0, 0, err
+					}
+					rep, err := core.Config{Procs: 64, Seed: 1, Recovery: "rollback",
+						Topology: "mesh", Shards: shards, Eval: eval}.Run(w, nil)
+					if err != nil {
+						return 0, 0, err
+					}
+					if rep.Err != nil || !rep.Completed {
+						return 0, 0, fmt.Errorf("experiments: B1 S1-64 cell incomplete")
+					}
+					return int64(rep.Makespan), rep.Sim.Metrics.TotalMessages(), nil
+				}},
+				target{B1Targets[1] + suffix, func() (int64, int64, error) {
+					// The stream driver builds its configs internally, so the
+					// shard count and evaluator ride in on the process defaults
+					// for the duration of the run (B1 is always timed
+					// single-threaded).
+					savedShards, savedEval := core.DefaultShards, core.DefaultEval
+					core.DefaultShards, core.DefaultEval = shards, eval
+					tb, err := L3StreamThroughput("sim", 1)
+					core.DefaultShards, core.DefaultEval = savedShards, savedEval
+					if err != nil {
+						return 0, 0, err
+					}
+					// Fold the stream table into one deterministic fingerprint: the
+					// sum over its numeric cells is byte-stable run to run.
+					var sum int64
+					for _, row := range tb.Rows {
+						for _, c := range row {
+							if c.IsNum {
+								sum += int64(c.Num)
+							}
 						}
 					}
-				}
-				return sum, 0, nil
-			}})
+					return sum, 0, nil
+				}})
+		}
 	}
 	for _, tg := range targets {
+		// One untimed warm-up run per target: the first run in a fresh
+		// process pays one-time costs (topology tables, program compiles,
+		// heap growth to the steady-state GC target) that belong to the
+		// process, not the target, and min-of-reps only smooths noise
+		// within the timed window.
+		if _, _, err := tg.run(); err != nil {
+			return nil, err
+		}
+		// Drain cross-target garbage before timing: a millisecond-scale
+		// target scheduled after a second-scale one would otherwise absorb
+		// one collection of the *previous* target's heap inside its own
+		// timed window.
+		runtime.GC()
 		var minUS, sumUS, makespan, messages int64
 		for r := 0; r < reps; r++ {
 			start := time.Now()

@@ -1,0 +1,185 @@
+package lang
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// This file is the differential fuzzer for the bytecode VM: random generated
+// programs plus arguments, driven lock-step on both evaluators with the twin
+// driver from eval_test.go, which asserts value, Steps, and Demands-order
+// equality on every pass of every task — and error-text equality when a
+// generated program faults (type errors and empty-list access are reachable
+// by construction, and both evaluators must fail identically).
+
+// progGen derives a random-but-valid program deterministically from fuzz
+// bytes. Termination is structural: helper i may call only helpers j < i,
+// and the one recursive function (fib) is always called through a
+// min(abs(·), 8) clamp.
+type progGen struct {
+	data []byte
+	pos  int
+}
+
+func (g *progGen) next() byte {
+	if g.pos >= len(g.data) {
+		return 0
+	}
+	b := g.data[g.pos]
+	g.pos++
+	return b
+}
+
+func (g *progGen) intn(n int) int { return int(g.next()) % n }
+
+// genOps are the operators the generator draws from; exact arities are
+// respected so generated programs always pass Validate (type errors remain
+// reachable and are part of what the fuzz compares).
+var genOps = []struct {
+	op    string
+	arity int
+}{
+	{"+", 2}, {"-", 2}, {"*", 2}, {"min", 2}, {"max", 2},
+	{"abs", 1}, {"neg", 1}, {"not", 1},
+	{"<", 2}, {"<=", 2}, {"==", 2}, {"and", 2}, {"or", 2},
+	{"cons", 2}, {"head", 1}, {"tail", 1}, {"isnil", 1}, {"len", 1},
+}
+
+// expr builds one random expression over scope; callees < fi are callable.
+func (g *progGen) expr(fi int, helpers []FuncDef, scope []string, depth int) expr.Expr {
+	if depth >= 4 {
+		return g.leaf(scope)
+	}
+	switch g.intn(10) {
+	case 0, 1:
+		return g.leaf(scope)
+	case 2, 3:
+		o := genOps[g.intn(len(genOps))]
+		args := make([]expr.Expr, o.arity)
+		for i := range args {
+			args[i] = g.expr(fi, helpers, scope, depth+1)
+		}
+		return expr.Op(o.op, args...)
+	case 4:
+		// Bias conditions toward comparisons so branches actually run.
+		cond := expr.Op("<", g.expr(fi, helpers, scope, depth+1), g.expr(fi, helpers, scope, depth+1))
+		return expr.Cond(cond,
+			g.expr(fi, helpers, scope, depth+1),
+			g.expr(fi, helpers, scope, depth+1))
+	case 5:
+		name := fmt.Sprintf("v%d", g.intn(3)) // small namespace: shadowing happens
+		bind := g.expr(fi, helpers, scope, depth+1)
+		body := g.expr(fi, helpers, append(scope, name), depth+1)
+		return expr.LetIn(name, bind, body)
+	case 6, 7:
+		if fi > 0 {
+			callee := helpers[g.intn(fi)]
+			args := make([]expr.Expr, len(callee.Params))
+			for i := range args {
+				args[i] = g.expr(fi, helpers, scope, depth+1)
+			}
+			return expr.Call(callee.Name, args...)
+		}
+		fallthrough
+	case 8:
+		// The bounded recursive demand generator: fib of a clamped argument.
+		return expr.Call("fib", expr.Op("min",
+			expr.Op("abs", g.expr(fi, helpers, scope, depth+1)), expr.Int(8)))
+	default:
+		return g.leaf(scope)
+	}
+}
+
+func (g *progGen) leaf(scope []string) expr.Expr {
+	if len(scope) > 0 && g.intn(2) == 0 {
+		return expr.V(scope[g.intn(len(scope))])
+	}
+	switch g.intn(6) {
+	case 0:
+		return expr.Bool(g.intn(2) == 0)
+	case 1:
+		return expr.Nil()
+	default:
+		return expr.Int(int64(int8(g.next())))
+	}
+}
+
+// genProgram assembles fib + up to three acyclic helpers + a main entry.
+func genProgram(data []byte) (*Program, bool) {
+	g := &progGen{data: data}
+	fib := FuncDef{
+		Name:   "fib",
+		Params: []string{"n"},
+		Body: expr.Cond(
+			expr.Op("<", expr.V("n"), expr.Int(2)),
+			expr.V("n"),
+			expr.Op("+",
+				expr.Call("fib", expr.Op("-", expr.V("n"), expr.Int(1))),
+				expr.Call("fib", expr.Op("-", expr.V("n"), expr.Int(2))),
+			),
+		),
+	}
+	paramNames := []string{"a", "b", "c"}
+	var helpers []FuncDef
+	nh := 1 + g.intn(3)
+	for i := 0; i < nh; i++ {
+		params := paramNames[:1+g.intn(2)]
+		helpers = append(helpers, FuncDef{
+			Name:   fmt.Sprintf("h%d", i),
+			Params: params,
+			Body:   g.expr(i, helpers, params, 0),
+		})
+	}
+	main := FuncDef{
+		Name:   "main",
+		Params: []string{"x", "y"},
+		Body:   g.expr(nh, helpers, []string{"x", "y"}, 0),
+	}
+	defs := append([]FuncDef{fib}, helpers...)
+	defs = append(defs, main)
+	prog, err := NewProgram(defs...)
+	if err != nil {
+		return nil, false // generator slipped outside Validate; skip
+	}
+	return prog, true
+}
+
+// FuzzCompiledVsInterp is the differential fuzz gate for the compiled
+// evaluator: whatever program the bytes decode to, the VM must match the
+// tree-walker pass for pass — answer, Steps, Demands order, and error text.
+func FuzzCompiledVsInterp(f *testing.F) {
+	f.Add([]byte{}, int64(3), int64(7))
+	f.Add([]byte("\x06\x02\x03\x08\x10\x20\x40\x04\x05\x06"), int64(5), int64(2))
+	f.Add([]byte("\x04\x04\x05\x05\x06\x06\x08\x08\x02\x0a\x0c\x21"), int64(12), int64(-4))
+	f.Add([]byte("\x02\x08\x03\x09\x01\x07\x06\x05\x04\x03\x02\x01\x00\xff"), int64(0), int64(9))
+	f.Add([]byte("\x05\x05\x05\x05\x04\x04\x04\x04\x06\x06\x06\x06\x08\x08\x08\x08"), int64(6), int64(6))
+	f.Fuzz(func(t *testing.T, data []byte, x, y int64) {
+		prog, ok := genProgram(data)
+		if !ok {
+			t.Skip("generated program failed validation")
+		}
+		args := []expr.Value{expr.VInt(x % 32), expr.VInt(y % 32)}
+		iEP := mustCompile(t, "interp", prog)
+		cEP := mustCompile(t, "compiled", prog)
+		budget := 50000
+		v, err := twinRun(t, iEP, cEP, "main", args, &budget)
+		if err != nil {
+			// Either both evaluators faulted identically (asserted inside
+			// twinRun) or the case outgrew its budget; both end the case.
+			if !errors.Is(err, errBudget) && !errors.Is(err, ErrEval) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		want, err := RefEval(prog, "main", args)
+		if err != nil {
+			t.Fatalf("machine evaluators completed but RefEval failed: %v", err)
+		}
+		if !v.Equal(want) {
+			t.Fatalf("answer %v != reference %v", v, want)
+		}
+	})
+}

@@ -330,11 +330,20 @@ func applyPrim(op string, args []expr.Value) (expr.Value, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: unknown primitive %q", ErrEval, op)
 	}
+	return callPrim(p, args)
+}
+
+// callPrim checks arity and runs an already-resolved primitive. Both the
+// tree-walker (via applyPrim) and the bytecode VM (which resolves the
+// operator at compile time) funnel through it, so arity and error text stay
+// identical across evaluators — including the dynamic checks Validate does
+// not make (a variadic operator applied to zero arguments).
+func callPrim(p Primitive, args []expr.Value) (expr.Value, error) {
 	if p.Arity >= 0 && len(args) != p.Arity {
-		return nil, fmt.Errorf("%w: %s expects %d args, got %d", ErrEval, op, p.Arity, len(args))
+		return nil, fmt.Errorf("%w: %s expects %d args, got %d", ErrEval, p.Name, p.Arity, len(args))
 	}
 	if p.Arity < 0 && len(args) == 0 {
-		return nil, fmt.Errorf("%w: %s expects at least one arg", ErrEval, op)
+		return nil, fmt.Errorf("%w: %s expects at least one arg", ErrEval, p.Name)
 	}
 	return p.Fn(args)
 }

@@ -12,6 +12,12 @@ import (
 // demands the machine produce exactly this value under every schedule,
 // placement, and fault plan.
 func RefEval(prog *Program, fn string, args []expr.Value) (expr.Value, error) {
+	return refRun(prog, fn, args, nil)
+}
+
+// refRun drives one reference evaluation of fn(args), invoking onApply (when
+// non-nil) at every function application including the root.
+func refRun(prog *Program, fn string, args []expr.Value, onApply func(fn string)) (expr.Value, error) {
 	d, ok := prog.Func(fn)
 	if !ok {
 		return nil, fmt.Errorf("%w: undefined function %q", ErrEval, fn)
@@ -23,14 +29,25 @@ func RefEval(prog *Program, fn string, args []expr.Value) (expr.Value, error) {
 	for i, p := range d.Params {
 		env[p] = args[i]
 	}
-	return refEval(prog, d.Body, env, 0)
+	if onApply != nil {
+		onApply(fn) // the root application itself
+	}
+	r := &refEvaluator{prog: prog, onApply: onApply}
+	return r.eval(d.Body, env, 0)
 }
 
 // maxRefDepth bounds recursion so a buggy program fails loudly instead of
 // overflowing the goroutine stack.
 const maxRefDepth = 1 << 17
 
-func refEval(prog *Program, e expr.Expr, env map[string]expr.Value, depth int) (expr.Value, error) {
+// refEvaluator carries the per-run hooks so RefEval and CountCalls share one
+// interpreter instead of two divergent copies.
+type refEvaluator struct {
+	prog    *Program
+	onApply func(fn string) // nil when nobody is counting
+}
+
+func (r *refEvaluator) eval(e expr.Expr, env map[string]expr.Value, depth int) (expr.Value, error) {
 	if depth > maxRefDepth {
 		return nil, fmt.Errorf("%w: reference evaluator exceeded depth %d", ErrEval, maxRefDepth)
 	}
@@ -48,7 +65,7 @@ func refEval(prog *Program, e expr.Expr, env map[string]expr.Value, depth int) (
 	case expr.Prim:
 		vals := make([]expr.Value, len(n.Args))
 		for i, a := range n.Args {
-			v, err := refEval(prog, a, env, depth+1)
+			v, err := r.eval(a, env, depth+1)
 			if err != nil {
 				return nil, err
 			}
@@ -56,7 +73,7 @@ func refEval(prog *Program, e expr.Expr, env map[string]expr.Value, depth int) (
 		}
 		return applyPrim(n.Op, vals)
 	case expr.If:
-		c, err := refEval(prog, n.Cond, env, depth+1)
+		c, err := r.eval(n.Cond, env, depth+1)
 		if err != nil {
 			return nil, err
 		}
@@ -65,17 +82,17 @@ func refEval(prog *Program, e expr.Expr, env map[string]expr.Value, depth int) (
 			return nil, fmt.Errorf("%w: if condition is %s, not bool", ErrEval, expr.TypeName(c))
 		}
 		if b {
-			return refEval(prog, n.Then, env, depth+1)
+			return r.eval(n.Then, env, depth+1)
 		}
-		return refEval(prog, n.Else, env, depth+1)
+		return r.eval(n.Else, env, depth+1)
 	case expr.Let:
-		v, err := refEval(prog, n.Bind, env, depth+1)
+		v, err := r.eval(n.Bind, env, depth+1)
 		if err != nil {
 			return nil, err
 		}
 		shadowed, had := env[n.Name]
 		env[n.Name] = v
-		out, err := refEval(prog, n.Body, env, depth+1)
+		out, err := r.eval(n.Body, env, depth+1)
 		if had {
 			env[n.Name] = shadowed
 		} else {
@@ -85,13 +102,16 @@ func refEval(prog *Program, e expr.Expr, env map[string]expr.Value, depth int) (
 	case expr.Apply:
 		vals := make([]expr.Value, len(n.Args))
 		for i, a := range n.Args {
-			v, err := refEval(prog, a, env, depth+1)
+			v, err := r.eval(a, env, depth+1)
 			if err != nil {
 				return nil, err
 			}
 			vals[i] = v
 		}
-		d, ok := prog.Func(n.Fn)
+		if r.onApply != nil {
+			r.onApply(n.Fn)
+		}
+		d, ok := r.prog.Func(n.Fn)
 		if !ok {
 			return nil, fmt.Errorf("%w: undefined function %q", ErrEval, n.Fn)
 		}
@@ -99,7 +119,7 @@ func refEval(prog *Program, e expr.Expr, env map[string]expr.Value, depth int) (
 		for i, p := range d.Params {
 			callEnv[p] = vals[i]
 		}
-		return refEval(prog, d.Body, callEnv, depth+1)
+		return r.eval(d.Body, callEnv, depth+1)
 	default:
 		return nil, fmt.Errorf("%w: unknown node %T", ErrEval, e)
 	}
@@ -111,85 +131,6 @@ func refEval(prog *Program, e expr.Expr, env map[string]expr.Value, depth int) (
 // benchmarks use to reason about expected task counts.
 func CountCalls(prog *Program, fn string, args []expr.Value) (int64, error) {
 	var calls int64
-	var eval func(e expr.Expr, env map[string]expr.Value, depth int) (expr.Value, error)
-	eval = func(e expr.Expr, env map[string]expr.Value, depth int) (expr.Value, error) {
-		if depth > maxRefDepth {
-			return nil, fmt.Errorf("%w: depth exceeded", ErrEval)
-		}
-		switch n := e.(type) {
-		case expr.Lit:
-			return n.V, nil
-		case expr.Var:
-			v, ok := env[n.Name]
-			if !ok {
-				return nil, fmt.Errorf("%w: unbound variable %q", ErrEval, n.Name)
-			}
-			return v, nil
-		case expr.Prim:
-			vals := make([]expr.Value, len(n.Args))
-			for i, a := range n.Args {
-				v, err := eval(a, env, depth+1)
-				if err != nil {
-					return nil, err
-				}
-				vals[i] = v
-			}
-			return applyPrim(n.Op, vals)
-		case expr.If:
-			c, err := eval(n.Cond, env, depth+1)
-			if err != nil {
-				return nil, err
-			}
-			if c.(expr.VBool) {
-				return eval(n.Then, env, depth+1)
-			}
-			return eval(n.Else, env, depth+1)
-		case expr.Let:
-			v, err := eval(n.Bind, env, depth+1)
-			if err != nil {
-				return nil, err
-			}
-			shadowed, had := env[n.Name]
-			env[n.Name] = v
-			out, err := eval(n.Body, env, depth+1)
-			if had {
-				env[n.Name] = shadowed
-			} else {
-				delete(env, n.Name)
-			}
-			return out, err
-		case expr.Apply:
-			vals := make([]expr.Value, len(n.Args))
-			for i, a := range n.Args {
-				v, err := eval(a, env, depth+1)
-				if err != nil {
-					return nil, err
-				}
-				vals[i] = v
-			}
-			calls++
-			d, ok := prog.Func(n.Fn)
-			if !ok {
-				return nil, fmt.Errorf("%w: undefined %q", ErrEval, n.Fn)
-			}
-			callEnv := make(map[string]expr.Value, len(d.Params))
-			for i, p := range d.Params {
-				callEnv[p] = vals[i]
-			}
-			return eval(d.Body, callEnv, depth+1)
-		default:
-			return nil, fmt.Errorf("%w: unknown node %T", ErrEval, e)
-		}
-	}
-	d, ok := prog.Func(fn)
-	if !ok {
-		return 0, fmt.Errorf("%w: undefined %q", ErrEval, fn)
-	}
-	env := make(map[string]expr.Value, len(d.Params))
-	for i, p := range d.Params {
-		env[p] = args[i]
-	}
-	calls = 1 // the root application itself
-	_, err := eval(d.Body, env, 0)
+	_, err := refRun(prog, fn, args, func(string) { calls++ })
 	return calls, err
 }

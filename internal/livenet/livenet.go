@@ -52,6 +52,10 @@ type packet struct {
 	// parent's. Code is resident in-process — this is a pointer, not wire
 	// payload. nil falls back to the cluster's build program.
 	prog *lang.Program
+	// ep is prog compiled by the cluster's evaluator, resolved once at
+	// Submit time and inherited by children — like prog, a resident
+	// in-process pointer, never wire payload.
+	ep lang.EvalProgram
 	// wireSize is the packet's proto codec size, sealed by encodedSize at
 	// construction (before the pointer is shared) so reissues — which resend
 	// the same retained pointer, possibly from another goroutine — only read.
@@ -107,7 +111,7 @@ type resultMsg struct {
 // ltask is a resident live task.
 type ltask struct {
 	pkt      *packet
-	residual expr.Expr
+	residual lang.TaskState
 	nextID   int
 	fills    map[int]expr.Value
 	unfilled int
@@ -159,6 +163,12 @@ type Cluster struct {
 	prog  *lang.Program
 	nodes []*node
 
+	// eval is the evaluator that runs reduction passes; evalCache memoizes
+	// compilation per program (Submit-time, never the per-task hot path).
+	eval      lang.Evaluator
+	evalMu    sync.Mutex
+	evalCache map[*lang.Program]lang.EvalProgram
+
 	// reqMu guards the request table and each request's rootDest/done;
 	// deliverRoot and Kill both take it, so a root reissue can never race
 	// its own completion.
@@ -195,6 +205,34 @@ type Cluster struct {
 // announced and nothing is reissued. Call before Start.
 func (c *Cluster) DisableRecovery() { c.noRecovery = true }
 
+// SetEvaluator switches the evaluator that runs reduction passes. Call
+// before the first Submit; programs already compiled keep their form.
+func (c *Cluster) SetEvaluator(name string) error {
+	ev, err := lang.EvaluatorByName(name)
+	if err != nil {
+		return err
+	}
+	c.evalMu.Lock()
+	c.eval = ev
+	c.evalMu.Unlock()
+	return nil
+}
+
+// epOf compiles prog with the cluster's evaluator, memoized per program.
+func (c *Cluster) epOf(prog *lang.Program) (lang.EvalProgram, error) {
+	c.evalMu.Lock()
+	defer c.evalMu.Unlock()
+	if ep, ok := c.evalCache[prog]; ok {
+		return ep, nil
+	}
+	ep, err := c.eval.Compile(prog)
+	if err != nil {
+		return nil, fmt.Errorf("livenet: compile: %w", err)
+	}
+	c.evalCache[prog] = ep
+	return ep, nil
+}
+
 // New builds a cluster of n goroutine nodes. prog is the default program
 // for Start; it may be nil when every workload arrives through Submit with
 // its own program (the service stream).
@@ -202,7 +240,17 @@ func New(prog *lang.Program, n int, seed int64) (*Cluster, error) {
 	if n < 2 {
 		return nil, errors.New("livenet: need at least 2 nodes")
 	}
-	c := &Cluster{prog: prog, reqs: map[uint32]*Request{}, quit: make(chan struct{})}
+	defEval, err := lang.EvaluatorByName(lang.DefaultEvaluator)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		prog:      prog,
+		eval:      defEval,
+		evalCache: map[*lang.Program]lang.EvalProgram{},
+		reqs:      map[uint32]*Request{},
+		quit:      make(chan struct{}),
+	}
 	for i := 0; i < n; i++ {
 		nd := &node{
 			id:    i,
@@ -240,6 +288,10 @@ func (c *Cluster) Submit(prog *lang.Program, fn string, args []expr.Value) (*Req
 	if _, ok := prog.Func(fn); !ok {
 		return nil, fmt.Errorf("livenet: unknown function %q", fn)
 	}
+	ep, err := c.epOf(prog)
+	if err != nil {
+		return nil, err
+	}
 	c.reqMu.Lock()
 	id := c.nextReq
 	c.nextReq++
@@ -249,6 +301,7 @@ func (c *Cluster) Submit(prog *lang.Program, fn string, args []expr.Value) (*Req
 		args:       args,
 		parentNode: -1,
 		prog:       prog,
+		ep:         ep,
 	}
 	root.encodedSize() // seal the wire size before the packet is shared
 	r := &Request{id: id, resultCh: make(chan expr.Value, 1), rootPkt: root}
@@ -494,33 +547,41 @@ func (n *node) onSpawn(pkt *packet) {
 		children: map[int]*childCkpt{},
 	}
 	n.tasks[pkt.stamp] = append(n.tasks[pkt.stamp], t)
-	prog := n.progOf(t)
-	body, err := prog.Instantiate(pkt.fn, pkt.args)
+	out, st, err := n.epOf(t).Flatten(pkt.fn, pkt.args, &t.nextID)
 	if err != nil {
 		panic(fmt.Sprintf("livenet: %v", err)) // validated programs cannot fail
 	}
-	out, err := lang.Flatten(prog, body, &t.nextID)
-	if err != nil {
-		panic(fmt.Sprintf("livenet: %v", err))
-	}
-	n.apply(t, out)
+	n.apply(t, out, st)
 }
 
-// progOf resolves the program a task's packets run in.
-func (n *node) progOf(t *ltask) *lang.Program {
-	if t.pkt.prog != nil {
-		return t.pkt.prog
+// epOf resolves the compiled program a task's packets run in. Packets carry
+// their compiled form from Submit; the fallback compiles the cluster's
+// build program on first use.
+func (n *node) epOf(t *ltask) lang.EvalProgram {
+	if t.pkt.ep != nil {
+		return t.pkt.ep
 	}
-	return n.c.prog
+	prog := t.pkt.prog
+	if prog == nil {
+		prog = n.c.prog
+	}
+	// Do not cache on the packet here: retained packets are shared with
+	// reissue paths on other goroutines, so only Submit (before sharing)
+	// may write ep.
+	ep, err := n.c.epOf(prog)
+	if err != nil {
+		panic(fmt.Sprintf("livenet: %v", err)) // validated programs cannot fail
+	}
+	return ep
 }
 
 // apply handles a pass outcome: finish, or spawn the demands.
-func (n *node) apply(t *ltask, out lang.Outcome) {
+func (n *node) apply(t *ltask, out lang.Outcome, st lang.TaskState) {
 	if out.Done {
 		n.finish(t, out.Value)
 		return
 	}
-	t.residual = out.Residual
+	t.residual = st
 	for _, d := range out.Demands {
 		child := &packet{
 			stamp:      t.pkt.stamp.Child(uint32(d.ID)),
@@ -530,6 +591,7 @@ func (n *node) apply(t *ltask, out lang.Outcome) {
 			parentTask: t.pkt.stamp,
 			holeID:     d.ID,
 			prog:       t.pkt.prog,
+			ep:         t.pkt.ep,
 		}
 		child.encodedSize() // seal the wire size before the packet is shared
 		dest := n.pickDest()
@@ -593,11 +655,11 @@ func (n *node) onResult(r *resultMsg) {
 		}
 		fills := t.fills
 		t.fills = map[int]expr.Value{}
-		out, err := lang.Resume(n.progOf(t), t.residual, fills, &t.nextID)
+		out, st, err := n.epOf(t).Resume(t.residual, fills, &t.nextID)
 		if err != nil {
 			panic(fmt.Sprintf("livenet: %v", err))
 		}
-		n.apply(t, out)
+		n.apply(t, out, st)
 	}
 	if !consumed {
 		n.c.drained.Add(1) // duplicate: "the second copy is simply ignored"

@@ -9,7 +9,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/faults"
+	"repro/internal/lang"
 	"repro/internal/proto"
+	"repro/internal/registry"
 )
 
 // This file implements the core.SessionBackend capability on the live
@@ -26,6 +28,7 @@ type liveParams struct {
 	procs       int
 	seed        int64
 	scheme      string
+	eval        string
 	timescale   time.Duration
 	deadline    time.Duration
 	maxInFlight int
@@ -49,6 +52,13 @@ func (b Backend) prepare(cfg core.Config) (liveParams, error) {
 	}
 	if p.scheme != "rollback" && p.scheme != "none" {
 		return p, fmt.Errorf("livenet: recovery %q not supported on the live backend (rollback per-parent reissue, or none)", cfg.Recovery)
+	}
+	p.eval = cfg.Eval
+	if p.eval == "" {
+		p.eval = core.DefaultEval
+	}
+	if !lang.KnownEvaluator(p.eval) {
+		return p, registry.Unknown("livenet", "evaluator", p.eval, lang.Evaluators())
 	}
 	if cfg.Placement != "" && cfg.Placement != "random" {
 		return p, fmt.Errorf("livenet: placement %q not supported on the live backend (random only)", cfg.Placement)
@@ -113,6 +123,9 @@ func (b Backend) Open(cfg core.Config) (core.Session, error) {
 	}
 	if p.scheme == "none" {
 		c.DisableRecovery()
+	}
+	if err := c.SetEvaluator(p.eval); err != nil {
+		return nil, err // unreachable: prepare validated the name
 	}
 	s := &session{
 		p:      p,

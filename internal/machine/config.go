@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/balance"
+	"repro/internal/lang"
 	"repro/internal/recovery"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -62,6 +63,12 @@ type Config struct {
 	// DisableCheckpoints turns off packet retention entirely — the
 	// zero-fault-tolerance baseline for overhead measurements (T1).
 	DisableCheckpoints bool
+
+	// Eval names the evaluator that runs task reduction passes: "interp"
+	// (the tree-walking reference) or "compiled" (the bytecode VM). Empty
+	// means lang.DefaultEvaluator. Both produce byte-identical traces; the
+	// choice only affects wall time.
+	Eval string
 
 	// Cost model, in virtual ticks.
 	StepCost       int64 // per reduction step
@@ -135,6 +142,15 @@ func (c Config) normalized() (Config, error) {
 		// names users see here are exactly the names ByName accepts.
 		return c, fmt.Errorf("machine: unknown recovery scheme %q (known: %s)",
 			c.Scheme.Name(), strings.Join(recovery.Names(), ", "))
+	}
+	if c.Eval == "" {
+		c.Eval = lang.DefaultEvaluator
+	}
+	if !lang.KnownEvaluator(c.Eval) {
+		// Same lockstep rule as the recovery-scheme error above: the names
+		// shown here are exactly the names lang.EvaluatorByName accepts.
+		return c, fmt.Errorf("machine: unknown evaluator %q (known: %s)",
+			c.Eval, strings.Join(lang.Evaluators(), ", "))
 	}
 	if c.AncestorDepth == 0 {
 		c.AncestorDepth = 2

@@ -36,10 +36,10 @@ var goldenCells = []struct {
 	{"s1-mesh64-incremental-burst3", "incremental", 3},
 }
 
-// goldenRun executes one golden cell with tracing and returns its
-// fingerprint line: FNV-64a over every event string, plus the headline
-// counters that would move first if determinism broke.
-func goldenRun(t *testing.T, scheme string, crash int) string {
+// goldenRun executes one golden cell with tracing under the named evaluator
+// and returns its fingerprint line: FNV-64a over every event string, plus
+// the headline counters that would move first if determinism broke.
+func goldenRun(t *testing.T, scheme string, crash int, eval string) string {
 	t.Helper()
 	topo, err := topology.ByName("mesh", 64)
 	if err != nil {
@@ -51,7 +51,7 @@ func goldenRun(t *testing.T, scheme string, crash int) string {
 	}
 	prog, fn, args := lang.Fib(), "fib", []expr.Value{expr.VInt(13)}
 	run := func(plan *faults.Plan, tl *trace.Log) *Report {
-		m, err := New(Config{Topo: topo, Scheme: sch, Seed: 1, Trace: tl}, prog)
+		m, err := New(Config{Topo: topo, Scheme: sch, Seed: 1, Trace: tl, Eval: eval}, prog)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,7 +89,7 @@ func TestGoldenEventTraces(t *testing.T) {
 	path := filepath.Join("testdata", "golden_traces.txt")
 	var got strings.Builder
 	for _, c := range goldenCells {
-		fmt.Fprintf(&got, "%s %s\n", c.name, goldenRun(t, c.scheme, c.crash))
+		fmt.Fprintf(&got, "%s %s\n", c.name, goldenRun(t, c.scheme, c.crash, "interp"))
 	}
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
@@ -107,5 +107,27 @@ func TestGoldenEventTraces(t *testing.T) {
 	}
 	if got.String() != string(want) {
 		t.Errorf("golden trace fingerprints diverged from the pre-optimisation kernel:\n got:\n%s want:\n%s", got.String(), want)
+	}
+}
+
+// TestGoldenEventTracesCompiled runs the same golden cells under the
+// bytecode VM and requires the SAME committed fingerprints: the compiled
+// evaluator must reproduce the tree-walker's event traces byte for byte,
+// which is the machine-level face of the lang-level step-parity contract.
+func TestGoldenEventTracesCompiled(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden file is rewritten from the interp run; the compiled run only verifies")
+	}
+	path := filepath.Join("testdata", "golden_traces.txt")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run TestGoldenEventTraces with -update to create): %v", err)
+	}
+	var got strings.Builder
+	for _, c := range goldenCells {
+		fmt.Fprintf(&got, "%s %s\n", c.name, goldenRun(t, c.scheme, c.crash, "compiled"))
+	}
+	if got.String() != string(want) {
+		t.Errorf("compiled evaluator diverged from the committed golden fingerprints:\n got:\n%s want:\n%s", got.String(), want)
 	}
 }

@@ -2,7 +2,7 @@ package machine
 
 import (
 	"errors"
-	"math/rand"
+	"fmt"
 	"sort"
 
 	"repro/internal/expr"
@@ -45,7 +45,11 @@ type Machine struct {
 	// progs holds the loaded programs: progs[0] is the program the machine
 	// was built with; service mode (Session) loads one more per distinct
 	// submitted program. Task packets name their program by index (Prog).
+	// evals is kept parallel: evals[i] is progs[i] compiled by the machine's
+	// evaluator at intern time, so the per-task hot path never compiles.
 	progs []*lang.Program
+	evals []lang.EvalProgram
+	eval  lang.Evaluator
 	n     int
 
 	// dist caches the topology's hop-distance table as one flat slice
@@ -217,9 +221,19 @@ func New(cfg Config, prog *lang.Program) (*Machine, error) {
 	if prog == nil {
 		return nil, errors.New("machine: program is required")
 	}
+	ev, err := lang.EvaluatorByName(norm.Eval)
+	if err != nil {
+		return nil, err // unreachable: normalized() validated the name
+	}
+	ep, err := ev.Compile(prog)
+	if err != nil {
+		return nil, fmt.Errorf("machine: compile: %w", err)
+	}
 	m := &Machine{
 		cfg:   norm,
 		progs: []*lang.Program{prog},
+		evals: []lang.EvalProgram{ep},
+		eval:  ev,
 		n:     norm.Topo.Size(),
 		tlog:  norm.Trace,
 	}
@@ -280,7 +294,7 @@ func (m *Machine) wireProc(p *proc, idx int, home int32) {
 	p.idx = idx
 	p.sc = m.shards[home]
 	p.k = p.sc.k
-	p.rng = rand.New(rand.NewSource(mixSeed(m.cfg.Seed, idx)))
+	p.rng = cachedRand(mixSeed(m.cfg.Seed, idx))
 	p.failedAt = -1
 }
 
@@ -333,19 +347,29 @@ func (m *Machine) deliverOn(sc *shardCtx, v any) {
 func (m *Machine) Kernel() *sim.Sharded { return m.kern }
 
 // progIndex interns a program and returns its index; progs[0] is the build
-// program, so one-shot packets keep the zero tag.
-func (m *Machine) progIndex(p *lang.Program) int {
+// program, so one-shot packets keep the zero tag. Interning a new program
+// compiles it with the machine's evaluator — the once-per-program cost that
+// keeps compilation off the per-task hot path.
+func (m *Machine) progIndex(p *lang.Program) (int, error) {
 	for i, q := range m.progs {
 		if q == p {
-			return i
+			return i, nil
 		}
 	}
+	ep, err := m.eval.Compile(p)
+	if err != nil {
+		return 0, fmt.Errorf("machine: compile: %w", err)
+	}
 	m.progs = append(m.progs, p)
-	return len(m.progs) - 1
+	m.evals = append(m.evals, ep)
+	return len(m.progs) - 1, nil
 }
 
 // progOf resolves a packet's program tag.
 func (m *Machine) progOf(i int) *lang.Program { return m.progs[i] }
+
+// evalOf resolves a packet's program tag to its compiled form.
+func (m *Machine) evalOf(i int) lang.EvalProgram { return m.evals[i] }
 
 // proc resolves a processor id, including the host. Unknown ids return nil.
 func (m *Machine) proc(id proto.ProcID) *proc {

@@ -376,3 +376,55 @@ func TestTraceEventsFlow(t *testing.T) {
 		t.Fatal("no checkpoint events")
 	}
 }
+
+// TestConfigEvalValidation pins the evaluator knob: the default is interp,
+// both registered evaluators are accepted, and an unknown name fails with
+// the lang registry's names in the machine's error format — the same
+// lockstep rule the recovery-scheme error follows.
+func TestConfigEvalValidation(t *testing.T) {
+	for _, eval := range []string{"", "interp", "compiled"} {
+		cfg := Config{Topo: mustTopo(t, "mesh", 4), Seed: 1, Eval: eval}
+		m, err := New(cfg, lang.Fib())
+		if err != nil {
+			t.Fatalf("Eval=%q rejected: %v", eval, err)
+		}
+		want := eval
+		if want == "" {
+			want = lang.DefaultEvaluator
+		}
+		if m.cfg.Eval != want {
+			t.Fatalf("Eval=%q normalized to %q, want %q", eval, m.cfg.Eval, want)
+		}
+	}
+	_, err := New(Config{Topo: mustTopo(t, "mesh", 4), Seed: 1, Eval: "nope"}, lang.Fib())
+	if err == nil {
+		t.Fatal("unknown evaluator accepted")
+	}
+	want := `machine: unknown evaluator "nope" (known: compiled, interp)`
+	if err.Error() != want {
+		t.Fatalf("error = %q, want %q", err, want)
+	}
+}
+
+// TestCompiledEvalMatchesInterpReport runs one fault-free and one faulted
+// cell under both evaluators end to end and requires identical reports —
+// answer, makespan, events, metrics — the report-level face of the trace
+// pins in golden_test.go.
+func TestCompiledEvalMatchesInterpReport(t *testing.T) {
+	run := func(eval string, crash bool) string {
+		cfg := Config{Topo: mustTopo(t, "mesh", 9), Scheme: recovery.Rollback(), Seed: 5, Eval: eval}
+		var plan *faults.Plan
+		if crash {
+			plan = faults.Crash(3, 400, true)
+		}
+		rep := runMachine(t, cfg, lang.Fib(), "fib", []expr.Value{expr.VInt(11)}, plan)
+		return fmt.Sprintf("answer=%v completed=%v makespan=%d events=%d metrics=%+v",
+			rep.Answer, rep.Completed, rep.Makespan, rep.Events, rep.Metrics)
+	}
+	for _, crash := range []bool{false, true} {
+		interp, compiled := run("interp", crash), run("compiled", crash)
+		if interp != compiled {
+			t.Fatalf("crash=%v reports diverged:\n interp   %s\n compiled %s", crash, interp, compiled)
+		}
+	}
+}

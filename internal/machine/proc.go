@@ -64,6 +64,7 @@ type proc struct {
 	policy recovery.Policy
 
 	faulty    []bool // indexed by ProcID; the host is assumed reliable
+	faultyN   int    // count of true entries in faulty (placement fast path)
 	neighbors []proto.ProcID
 
 	// Gradient-model state: last gossiped value per neighbor (MaxGradient
@@ -93,6 +94,61 @@ type proc struct {
 
 	// stepsDone counts reduction steps executed here (load accounting).
 	stepsDone int64
+
+	// holeSlab and childSlab are bump allocators for the per-demand hole
+	// and child records. Both record kinds are proc-private — a task lives
+	// on exactly one processor and recovery reissues build fresh tasks on
+	// the surviving side — so batching them into chunks replaces one small
+	// heap allocation per spawned demand with one per chunk. Appends never
+	// move earlier entries (a full chunk is abandoned, not grown), so
+	// pointers into a slab stay valid for the record's whole life.
+	holeSlab  []holeRec
+	childSlab []childRef
+}
+
+// recSlabChunk sizes the next slab chunk: doubling from 8 up to 64 keeps
+// lightly loaded processors near the footprint of individual allocations
+// while busy ones amortize 64 records per chunk.
+func recSlabChunk(prev int) int {
+	n := prev * 2
+	if n < 8 {
+		n = 8
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// newHole draws a zeroed hole record for id from the proc's slab.
+func (p *proc) newHole(id int) *holeRec {
+	if len(p.holeSlab) == cap(p.holeSlab) {
+		p.holeSlab = make([]holeRec, 0, recSlabChunk(cap(p.holeSlab)))
+	}
+	p.holeSlab = append(p.holeSlab, holeRec{id: id})
+	return &p.holeSlab[len(p.holeSlab)-1]
+}
+
+// newChildRef draws a zeroed child record from the proc's slab.
+func (p *proc) newChildRef(key proto.TaskKey) *childRef {
+	if len(p.childSlab) == cap(p.childSlab) {
+		p.childSlab = make([]childRef, 0, recSlabChunk(cap(p.childSlab)))
+	}
+	p.childSlab = append(p.childSlab, childRef{key: key})
+	return &p.childSlab[len(p.childSlab)-1]
+}
+
+// holeFor is task.hole with the record drawn from the proc's slab.
+func (p *proc) holeFor(t *task, id int) *holeRec {
+	for id >= len(t.holes) {
+		t.holes = append(t.holes, nil)
+	}
+	if h := t.holes[id]; h != nil {
+		return h
+	}
+	h := p.newHole(id)
+	t.holes[id] = h
+	return h
 }
 
 func newProc(id proto.ProcID, m *Machine, isHost bool) *proc {
@@ -163,6 +219,11 @@ func (p *proc) isFaulty(q proto.ProcID) bool {
 
 // IsFaulty implements balance.View and part of recovery.Ops.
 func (p *proc) IsFaulty(q proto.ProcID) bool { return p.isFaulty(q) }
+
+// FaultyCount implements balance's optional liveView extension: the number
+// of processors this one believes failed, kept exactly in sync with the
+// faulty bitmap by declareFaulty.
+func (p *proc) FaultyCount() int { return p.faultyN }
 
 // Rand implements balance.View.
 func (p *proc) Rand() *rand.Rand { return p.rng }
@@ -294,7 +355,7 @@ func (p *proc) Respawn(pkt *proto.TaskPacket) {
 		}
 	}
 	if cr == nil {
-		cr = &childRef{key: pkt.Key}
+		cr = p.newChildRef(pkt.Key)
 		h.children = append(h.children, cr)
 	}
 	cr.ackTimer.Stop()
@@ -535,6 +596,7 @@ func (p *proc) declareFaulty(q proto.ProcID) {
 		return
 	}
 	p.faulty[q] = true
+	p.faultyN++
 	p.sc.metrics.Detections++
 	p.m.noteDetection(p, q)
 	p.m.log(p.id, trace.KDetect, "", fmt.Sprintf("processor %d failed", q))
@@ -613,21 +675,18 @@ func (p *proc) runPass(t *task) {
 	}
 
 	var out lang.Outcome
+	var st lang.TaskState
 	var err error
-	prog := p.m.progOf(t.pkt.Prog)
+	ep := p.m.evalOf(t.pkt.Prog)
 	if t.residual == nil {
-		var body expr.Expr
-		body, err = prog.Instantiate(t.pkt.Fn, t.pkt.Args)
-		if err == nil {
-			out, err = lang.Flatten(prog, body, &t.nextID)
-		}
+		out, st, err = ep.Flatten(t.pkt.Fn, t.pkt.Args, &t.nextID)
 	} else {
 		// The fills map is consumed synchronously by Resume, then cleared
 		// and kept: results arriving after this instant land in the same
 		// (now empty) map, exactly as they landed in the fresh map the
 		// pre-optimisation kernel allocated per pass.
 		fills := t.pendingFills
-		out, err = lang.Resume(prog, t.residual, fills, &t.nextID)
+		out, st, err = ep.Resume(t.residual, fills, &t.nextID)
 		clear(fills)
 	}
 	if err != nil {
@@ -644,11 +703,24 @@ func (p *proc) runPass(t *task) {
 	if cost < 1 {
 		cost = 1
 	}
-	p.k.After(sim.Time(cost), func() { p.finishPass(t, out) })
+	// The pass outcome rides in the task and the completion closure is
+	// built once per task: a reduction pass is the machine's most frequent
+	// event, and capturing the Outcome struct in a fresh closure per pass
+	// was a measurable share of its allocation. At most one pass per task
+	// is in flight (ready → running → finish), so the parking slot cannot
+	// be overwritten.
+	t.passOut, t.passSt = out, st
+	if t.finishFn == nil {
+		t.finishFn = func() { p.finishPass(t) }
+	}
+	p.k.After(sim.Time(cost), t.finishFn)
 }
 
-// finishPass applies the outcome of a reduction pass.
-func (p *proc) finishPass(t *task, out lang.Outcome) {
+// finishPass applies the outcome of a reduction pass (parked in the task by
+// runPass).
+func (p *proc) finishPass(t *task) {
+	out, st := t.passOut, t.passSt
+	t.passOut, t.passSt = lang.Outcome{}, nil
 	p.busy = false
 	defer p.maybeRun()
 	if p.dead || t.state != taskRunning {
@@ -675,7 +747,7 @@ func (p *proc) finishPass(t *task, out lang.Outcome) {
 		p.sendResult(t)
 		return
 	}
-	t.residual = out.Residual
+	t.residual = st
 	t.state = taskWaiting
 	for _, d := range out.Demands {
 		p.spawnDemand(t, d)
@@ -698,7 +770,7 @@ func (p *proc) spawnDemand(t *task, d lang.Demand) {
 	if v, ok := t.takePrefill(d.ID); ok {
 		// The answer is already there (§4.1 case 4/5): consume the
 		// inherited result; do not spawn.
-		h := t.hole(d.ID)
+		h := p.holeFor(t, d.ID)
 		h.filled = true
 		h.value = v
 		t.addFill(d.ID, v)
@@ -717,7 +789,7 @@ func (p *proc) spawnDemand(t *task, d lang.Demand) {
 	if t.pkt.Key.Rep == 0 {
 		reps = p.m.replicasFor(d.Fn)
 	}
-	h := t.hole(d.ID)
+	h := p.holeFor(t, d.ID)
 	childStamp := t.pkt.Key.Stamp.Child(uint32(d.ID))
 	// Replicas must land on distinct processors where possible: "Copies of
 	// each instruction are carefully distributed so that each copy is
@@ -744,7 +816,8 @@ func (p *proc) spawnDemand(t *task, d lang.Demand) {
 			Prog:      t.pkt.Prog,
 		}
 		pkt.Ancestors = ancestorChain(t.pkt, p.m.cfg.AncestorDepth)
-		cr := &childRef{key: pkt.Key, gen: pkt.Gen, dest: checkpoint.PendingDest}
+		cr := p.newChildRef(pkt.Key)
+		cr.gen, cr.dest = pkt.Gen, checkpoint.PendingDest
 		h.children = append(h.children, cr)
 		p.sc.metrics.TasksSpawned++
 		if p.m.tracing() {
@@ -846,19 +919,17 @@ func (p *proc) route(parent *task, pkt *proto.TaskPacket, cr *childRef, avoid ma
 // one Intn over the live count — identical to the slice-collecting version
 // while allocating nothing.
 func (p *proc) randomLive() proto.ProcID {
-	live := 0
-	for i := 0; i < p.m.n; i++ {
-		if !p.faulty[i] {
-			live++
-		}
-	}
-	if live == 0 {
+	live := p.m.n - p.faultyN
+	if live <= 0 {
 		return p.id
 	}
 	// Drawn from the processor's private stream, not the kernel's: the
 	// kernel RNG is per shard, so using it would make relay targets (and
 	// with them whole recovery schedules) depend on the shard count.
 	k := p.rng.Intn(live)
+	if live == p.m.n {
+		return proto.ProcID(k)
+	}
 	for i := 0; i < p.m.n; i++ {
 		if !p.faulty[i] {
 			if k == 0 {

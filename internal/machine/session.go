@@ -186,7 +186,11 @@ func (s *Session) Submit(prog *lang.Program, fn string, args []expr.Value) (*Req
 	if _, ok := prog.Func(fn); !ok {
 		return nil, fmt.Errorf("machine: entry function %q not in program", fn)
 	}
-	r := &Req{id: len(s.reqs), fn: fn, args: args, prog: s.m.progIndex(prog)}
+	pi, err := s.m.progIndex(prog)
+	if err != nil {
+		return nil, err
+	}
+	r := &Req{id: len(s.reqs), fn: fn, args: args, prog: pi}
 	s.reqs = append(s.reqs, r)
 	s.pendReqs = append(s.pendReqs, r)
 	return r, nil
@@ -369,7 +373,7 @@ func (s *Session) install(r *Req) {
 	hostTask := newTask(hostPkt)
 	hostTask.isHostRoot = true
 	hostTask.state = taskWaiting
-	hostTask.residual = expr.Hole{ID: 0}
+	hostTask.residual = m.evalOf(r.prog).RootState(0)
 	hostTask.nextID = 1
 	m.host.tasks[hostPkt.Key] = hostTask
 	m.host.spawnDemand(hostTask, lang.Demand{ID: 0, Fn: r.fn, Args: r.args})

@@ -45,31 +45,37 @@ func TestShardSweepByteIdentical(t *testing.T) {
 	for _, c := range goldenCells {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
+			// The single-shard interp run is the one reference; every other
+			// (shards × evaluator) combination must match it byte for byte,
+			// so the sweep pins the cross-evaluator contract at every shard
+			// count in the same breath as the sharded-determinism one.
 			var refTrace, refReport string
-			for _, shards := range shardSweep {
-				tl := trace.NewLog(0)
-				rep := goldenRunSharded(t, c.scheme, c.crash, shards, tl)
-				gotTrace, gotReport := traceDump(tl), reportLine(rep)
-				if shards == 1 {
-					refTrace, refReport = gotTrace, gotReport
-					continue
-				}
-				if gotReport != refReport {
-					t.Fatalf("shards=%d report diverged:\n got  %s\n want %s", shards, gotReport, refReport)
-				}
-				if gotTrace != refTrace {
-					t.Fatalf("shards=%d event trace diverged from single-shard reference (%s)",
-						shards, firstTraceDiff(refTrace, gotTrace))
+			for _, eval := range []string{"interp", "compiled"} {
+				for _, shards := range shardSweep {
+					tl := trace.NewLog(0)
+					rep := goldenRunSharded(t, c.scheme, c.crash, shards, eval, tl)
+					gotTrace, gotReport := traceDump(tl), reportLine(rep)
+					if eval == "interp" && shards == 1 {
+						refTrace, refReport = gotTrace, gotReport
+						continue
+					}
+					if gotReport != refReport {
+						t.Fatalf("eval=%s shards=%d report diverged:\n got  %s\n want %s", eval, shards, gotReport, refReport)
+					}
+					if gotTrace != refTrace {
+						t.Fatalf("eval=%s shards=%d event trace diverged from single-shard reference (%s)",
+							eval, shards, firstTraceDiff(refTrace, gotTrace))
+					}
 				}
 			}
 		})
 	}
 }
 
-// goldenRunSharded mirrors goldenRun with an explicit shard count and trace
-// sink, reusing the same cells so the sweep pins against the same behavior
-// the committed golden fingerprints capture.
-func goldenRunSharded(t *testing.T, scheme string, crash, shards int, tl *trace.Log) *Report {
+// goldenRunSharded mirrors goldenRun with an explicit shard count,
+// evaluator, and trace sink, reusing the same cells so the sweep pins
+// against the same behavior the committed golden fingerprints capture.
+func goldenRunSharded(t *testing.T, scheme string, crash, shards int, eval string, tl *trace.Log) *Report {
 	t.Helper()
 	topo, err := topology.ByName("mesh", 64)
 	if err != nil {
@@ -81,7 +87,7 @@ func goldenRunSharded(t *testing.T, scheme string, crash, shards int, tl *trace.
 	}
 	prog, fn, args := lang.Fib(), "fib", []expr.Value{expr.VInt(13)}
 	run := func(plan *faults.Plan, tl *trace.Log) *Report {
-		m, err := New(Config{Topo: topo, Scheme: sch, Seed: 1, Trace: tl, Shards: shards}, prog)
+		m, err := New(Config{Topo: topo, Scheme: sch, Seed: 1, Trace: tl, Shards: shards, Eval: eval}, prog)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -124,13 +130,13 @@ func firstTraceDiff(a, b string) string {
 // (Submit lands on the host's shard via a driver event) that one-shot runs
 // never exercise.
 func TestShardSweepServiceStream(t *testing.T) {
-	run := func(shards int) (string, string) {
+	run := func(shards int, eval string) (string, string) {
 		topo, err := topology.ByName("mesh", 16)
 		if err != nil {
 			t.Fatal(err)
 		}
 		tl := trace.NewLog(0)
-		m, err := New(Config{Topo: topo, Scheme: recovery.Rollback(), Seed: 3, Trace: tl, Shards: shards}, lang.Fib())
+		m, err := New(Config{Topo: topo, Scheme: recovery.Rollback(), Seed: 3, Trace: tl, Shards: shards, Eval: eval}, lang.Fib())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -158,14 +164,19 @@ func TestShardSweepServiceStream(t *testing.T) {
 		lines = append(lines, reportLine(rep))
 		return strings.Join(lines, "\n"), traceDump(tl)
 	}
-	refLines, refTrace := run(1)
-	for _, shards := range shardSweep[1:] {
-		gotLines, gotTrace := run(shards)
-		if gotLines != refLines {
-			t.Fatalf("shards=%d stream outcome diverged:\n got:\n%s\n want:\n%s", shards, gotLines, refLines)
-		}
-		if gotTrace != refTrace {
-			t.Fatalf("shards=%d stream trace diverged (%s)", shards, firstTraceDiff(refTrace, gotTrace))
+	refLines, refTrace := run(1, "interp")
+	for _, eval := range []string{"interp", "compiled"} {
+		for _, shards := range shardSweep {
+			if eval == "interp" && shards == 1 {
+				continue // the reference itself
+			}
+			gotLines, gotTrace := run(shards, eval)
+			if gotLines != refLines {
+				t.Fatalf("eval=%s shards=%d stream outcome diverged:\n got:\n%s\n want:\n%s", eval, shards, gotLines, refLines)
+			}
+			if gotTrace != refTrace {
+				t.Fatalf("eval=%s shards=%d stream trace diverged (%s)", eval, shards, firstTraceDiff(refTrace, gotTrace))
+			}
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/expr"
+	"repro/internal/lang"
 	"repro/internal/proto"
 	"repro/internal/sim"
 )
@@ -119,9 +120,10 @@ type task struct {
 	pkt   *proto.TaskPacket
 	state taskState
 
-	// Evaluation state: residual expression, demand counter, and the fills
-	// accumulated since the last pass.
-	residual     expr.Expr
+	// Evaluation state: the evaluator's opaque blocked-task state (nil =
+	// no pass has run yet), demand counter, and the fills accumulated
+	// since the last pass.
+	residual     lang.TaskState
 	nextID       int
 	pendingFills map[int]expr.Value
 
@@ -137,6 +139,13 @@ type task struct {
 
 	// stepsSpent accumulates reduction steps, for waste accounting.
 	stepsSpent int64
+
+	// passOut/passSt park the in-flight pass outcome between runPass and
+	// finishPass, and finishFn is the reusable completion closure (see
+	// runPass: one pass per task is in flight at a time).
+	passOut  lang.Outcome
+	passSt   lang.TaskState
+	finishFn func()
 
 	// value is the final result once reduced (taskReturning).
 	value expr.Value
@@ -157,7 +166,9 @@ func newTask(pkt *proto.TaskPacket) *task {
 	return &task{pkt: pkt, state: taskReady}
 }
 
-// hole returns the record for id, creating it on first use.
+// hole returns the record for id, creating it on first use. The machine's
+// hot path uses proc.holeFor (slab-backed) instead; this heap-allocating
+// variant serves tests and callers without a proc at hand.
 func (t *task) hole(id int) *holeRec {
 	for id >= len(t.holes) {
 		t.holes = append(t.holes, nil)

@@ -9,7 +9,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/faults"
+	"repro/internal/lang"
 	"repro/internal/proto"
+	"repro/internal/registry"
 )
 
 // This file adapts the process-per-node cluster to core.Backend as the
@@ -56,6 +58,7 @@ type netParams struct {
 	procs       int
 	seed        int64
 	scheme      string
+	eval        string
 	timescale   time.Duration
 	deadline    time.Duration
 	maxInFlight int
@@ -79,6 +82,13 @@ func (b *Backend) prepare(cfg core.Config) (netParams, error) {
 	}
 	if p.scheme != "rollback" && p.scheme != "none" {
 		return p, fmt.Errorf("netnode: recovery %q not supported on the net backend (rollback per-parent reissue, or none)", cfg.Recovery)
+	}
+	p.eval = cfg.Eval
+	if p.eval == "" {
+		p.eval = core.DefaultEval
+	}
+	if !lang.KnownEvaluator(p.eval) {
+		return p, registry.Unknown("netnode", "evaluator", p.eval, lang.Evaluators())
 	}
 	if cfg.Placement != "" && cfg.Placement != "random" {
 		return p, fmt.Errorf("netnode: placement %q not supported on the net backend (random only)", cfg.Placement)
@@ -162,7 +172,7 @@ func (b *Backend) Open(cfg core.Config) (core.Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := New(p.procs, p.seed, Options{TCP: b.TCP, NoRecovery: p.scheme == "none"})
+	c, err := New(p.procs, p.seed, Options{TCP: b.TCP, NoRecovery: p.scheme == "none", Eval: p.eval})
 	if err != nil {
 		return nil, err
 	}

@@ -19,12 +19,12 @@ import (
 // environment is present the process is a re-exec'd node — ChildMain runs
 // the node loop and never returns. In a normal invocation it is a no-op.
 func ChildMain() {
-	id, procs, seed, network, addr, recov, ok, err := childEnv()
+	id, procs, seed, network, addr, recov, eval, ok, err := childEnv()
 	if !ok {
 		return
 	}
 	if err == nil {
-		err = runChild(id, procs, seed, network, addr, recov)
+		err = runChild(id, procs, seed, network, addr, recov, eval)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "apsim node %d: %v\n", id, err)
@@ -45,7 +45,7 @@ const heartbeatEvery = 100 * time.Millisecond
 type ctask struct {
 	pkt      *proto.TaskPacket
 	progIdx  uint16
-	residual expr.Expr
+	residual lang.TaskState
 	nextID   int
 	fills    map[int]expr.Value
 	unfilled int
@@ -68,7 +68,11 @@ type childNode struct {
 	id    proto.ProcID
 	conn  net.Conn
 	wmu   sync.Mutex
+	eval  lang.Evaluator
 	progs map[uint16]*lang.Program
+	// evals holds each program compiled by eval, built at FrameProgram
+	// receipt so the per-task path never compiles.
+	evals map[uint16]lang.EvalProgram
 	tasks map[proto.TaskKey][]*ctask
 	rng   *rand.Rand
 	live  []bool
@@ -78,15 +82,21 @@ type childNode struct {
 	reissues int64
 }
 
-func runChild(id, procs int, seed int64, network, addr string, recov bool) error {
+func runChild(id, procs int, seed int64, network, addr string, recov bool, eval string) error {
 	conn, err := net.DialTimeout(network, addr, 10*time.Second)
 	if err != nil {
 		return err
 	}
+	ev, err := lang.EvaluatorByName(eval)
+	if err != nil {
+		return err // unreachable: childEnv validated the name
+	}
 	n := &childNode{
 		id:    proto.ProcID(id),
 		conn:  conn,
+		eval:  ev,
 		progs: map[uint16]*lang.Program{},
+		evals: map[uint16]lang.EvalProgram{},
 		tasks: map[proto.TaskKey][]*ctask{},
 		rng:   rand.New(rand.NewSource(seed + int64(id)*7919)),
 		live:  make([]bool, procs),
@@ -157,7 +167,12 @@ func (n *childNode) handle(f *proto.Frame) error {
 		if err != nil {
 			return fmt.Errorf("netnode: program %d does not parse: %v", idx, err)
 		}
+		ep, err := n.eval.Compile(prog)
+		if err != nil {
+			return fmt.Errorf("netnode: program %d does not compile: %v", idx, err)
+		}
 		n.progs[idx] = prog
+		n.evals[idx] = ep
 	case proto.FrameSpawn:
 		idx, pkt, err := parseSpawn(f.Payload)
 		if err != nil {
@@ -207,23 +222,19 @@ func (n *childNode) onSpawn(progIdx uint16, pkt *proto.TaskPacket) error {
 		children: map[int]*cckpt{},
 	}
 	n.tasks[pkt.Key] = append(n.tasks[pkt.Key], t)
-	body, err := prog.Instantiate(pkt.Fn, pkt.Args)
+	out, st, err := n.evals[progIdx].Flatten(pkt.Fn, pkt.Args, &t.nextID)
 	if err != nil {
 		return fmt.Errorf("netnode: %v", err) // validated programs cannot fail
 	}
-	out, err := lang.Flatten(prog, body, &t.nextID)
-	if err != nil {
-		return fmt.Errorf("netnode: %v", err)
-	}
-	return n.apply(t, out)
+	return n.apply(t, out, st)
 }
 
 // apply handles a pass outcome: finish, or checkpoint-and-spawn the demands.
-func (n *childNode) apply(t *ctask, out lang.Outcome) error {
+func (n *childNode) apply(t *ctask, out lang.Outcome, st lang.TaskState) error {
 	if out.Done {
 		return n.finish(t, out.Value)
 	}
-	t.residual = out.Residual
+	t.residual = st
 	for _, d := range out.Demands {
 		child := &proto.TaskPacket{
 			Key:    proto.TaskKey{Stamp: t.pkt.Key.Stamp.Child(uint32(d.ID))},
@@ -298,11 +309,11 @@ func (n *childNode) onResult(r *proto.Result) {
 		}
 		fills := t.fills
 		t.fills = map[int]expr.Value{}
-		out, err := lang.Resume(n.progs[t.progIdx], t.residual, fills, &t.nextID)
+		out, st, err := n.evals[t.progIdx].Resume(t.residual, fills, &t.nextID)
 		if err != nil {
 			panic(fmt.Sprintf("netnode: %v", err))
 		}
-		if err := n.apply(t, out); err != nil {
+		if err := n.apply(t, out, st); err != nil {
 			panic(fmt.Sprintf("netnode: %v", err))
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/lang"
 	"repro/internal/proto"
+	"repro/internal/registry"
 	"repro/internal/stamp"
 )
 
@@ -110,6 +111,7 @@ type Cluster struct {
 	n       int
 	seed    int64
 	recov   bool
+	eval    string
 	network string
 	addr    string
 	dir     string // unix-socket temp dir ("" for tcp)
@@ -160,6 +162,10 @@ type Options struct {
 	// still announced, survivors just don't reissue, and lost work stays
 	// lost.
 	NoRecovery bool
+	// Eval names the evaluator the node processes run reduction passes
+	// with ("" = lang.DefaultEvaluator); it travels to children in the
+	// environment contract.
+	Eval string
 }
 
 // New brings up a cluster of n node processes. Every child must complete
@@ -170,10 +176,18 @@ func New(n int, seed int64, opts Options) (*Cluster, error) {
 	if n < 2 {
 		return nil, errors.New("netnode: need at least 2 nodes")
 	}
+	eval := opts.Eval
+	if eval == "" {
+		eval = lang.DefaultEvaluator
+	}
+	if !lang.KnownEvaluator(eval) {
+		return nil, registry.Unknown("netnode", "evaluator", eval, lang.Evaluators())
+	}
 	c := &Cluster{
 		n:       n,
 		seed:    seed,
 		recov:   !opts.NoRecovery,
+		eval:    eval,
 		reqs:    map[uint32]*Request{},
 		progIdx: map[*lang.Program]uint16{},
 		quit:    make(chan struct{}),
@@ -232,7 +246,7 @@ func (c *Cluster) writer(ch *child) {
 func (c *Cluster) startChildren() error {
 	byID := make([]*child, c.n)
 	for i := 0; i < c.n; i++ {
-		proc, err := startNodeProc(i, c.n, c.seed, c.network, c.addr, c.recov)
+		proc, err := startNodeProc(i, c.n, c.seed, c.network, c.addr, c.recov, c.eval)
 		if err != nil {
 			return fmt.Errorf("netnode: start node %d: %w", i, err)
 		}

@@ -41,6 +41,7 @@ import (
 	"os"
 	"strconv"
 
+	"repro/internal/lang"
 	"repro/internal/proto"
 )
 
@@ -60,6 +61,10 @@ const (
 	// NodeEnvRecover is "1" for rollback reissue, "0" for the "none" scheme
 	// (deaths are still announced; survivors just don't reissue).
 	NodeEnvRecover = "APSIM_NETNODE_RECOVER"
+	// NodeEnvEval is the evaluator name the child runs reduction passes
+	// with ("" = lang.DefaultEvaluator). Children compile each program at
+	// FrameProgram receipt, so tasks never pay compilation.
+	NodeEnvEval = "APSIM_NETNODE_EVAL"
 )
 
 // ArgvMarker is the cosmetic argv tag children run under. Configuration
@@ -74,13 +79,13 @@ const SocketPattern = "apsim-netnode-*"
 
 // childEnv reads the environment contract; ok is false when NodeEnvID is
 // absent (a normal, non-child invocation).
-func childEnv() (id, procs int, seed int64, network, addr string, recover_ bool, ok bool, err error) {
+func childEnv() (id, procs int, seed int64, network, addr string, recover_ bool, eval string, ok bool, err error) {
 	idStr := os.Getenv(NodeEnvID)
 	if idStr == "" {
-		return 0, 0, 0, "", "", false, false, nil
+		return 0, 0, 0, "", "", false, "", false, nil
 	}
-	fail := func(e error) (int, int, int64, string, string, bool, bool, error) {
-		return 0, 0, 0, "", "", false, true, e
+	fail := func(e error) (int, int, int64, string, string, bool, string, bool, error) {
+		return 0, 0, 0, "", "", false, "", true, e
 	}
 	if id, err = strconv.Atoi(idStr); err != nil {
 		return fail(fmt.Errorf("netnode: bad %s: %v", NodeEnvID, err))
@@ -96,7 +101,14 @@ func childEnv() (id, procs int, seed int64, network, addr string, recover_ bool,
 		return fail(err)
 	}
 	recover_ = os.Getenv(NodeEnvRecover) != "0"
-	return id, procs, seed, network, addr, recover_, true, nil
+	eval = os.Getenv(NodeEnvEval)
+	if eval == "" {
+		eval = lang.DefaultEvaluator
+	}
+	if !lang.KnownEvaluator(eval) {
+		return fail(fmt.Errorf("netnode: bad %s %q", NodeEnvEval, os.Getenv(NodeEnvEval)))
+	}
+	return id, procs, seed, network, addr, recover_, eval, true, nil
 }
 
 // splitAddr parses "unix:PATH" / "tcp:HOSTPORT".

@@ -23,7 +23,7 @@ type managedProc struct {
 // travels in the environment (the APSIM_NETNODE_* contract ChildMain
 // reads); argv carries only the cosmetic marker so `ps` reads honestly and
 // `pkill -f apsim-netnode` catches strays.
-func startNodeProc(i, procs int, seed int64, network, addr string, recov bool) (*managedProc, error) {
+func startNodeProc(i, procs int, seed int64, network, addr string, recov bool, eval string) (*managedProc, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return nil, err
@@ -39,6 +39,7 @@ func startNodeProc(i, procs int, seed int64, network, addr string, recov bool) (
 		NodeEnvSeed+"="+strconv.FormatInt(seed, 10),
 		NodeEnvAddr+"="+network+":"+addr,
 		NodeEnvRecover+"="+recovFlag,
+		NodeEnvEval+"="+eval,
 	)
 	// Children must not write the parent's stdout — artifact output is
 	// byte-compared — but their panics should reach the operator.

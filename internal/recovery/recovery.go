@@ -24,11 +24,10 @@ package recovery
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 
 	"repro/internal/checkpoint"
 	"repro/internal/proto"
+	"repro/internal/registry"
 	"repro/internal/stamp"
 	"repro/internal/trace"
 )
@@ -339,50 +338,33 @@ func (p *splicePolicy) OnGrandResult(res *proto.Result) {
 	p.ops.RelayToTwin(res)
 }
 
-// registry is the single statement of which schemes exist. Config
+// schemes is the single statement of which schemes exist. Config
 // validation, CLI help/error text and ByName all derive from it, so a new
 // scheme registered here is automatically discoverable everywhere.
-var registry = []struct {
-	name string
-	ctor func() Scheme
-}{
-	{"incremental", Incremental},
-	{"none", None},
-	{"rollback", Rollback},
-	{"rollback-lazy", RollbackLazy},
-	{"rollback-nosuppress", RollbackNoSuppress},
-	{"splice", Splice},
+var schemes = registry.New[func() Scheme]("recovery", "scheme")
+
+func init() {
+	schemes.MustRegister("incremental", Incremental)
+	schemes.MustRegister("none", None)
+	schemes.MustRegister("rollback", Rollback)
+	schemes.MustRegister("rollback-lazy", RollbackLazy)
+	schemes.MustRegister("rollback-nosuppress", RollbackNoSuppress)
+	schemes.MustRegister("splice", Splice)
 }
 
 // Names lists every registered scheme name in sorted order — the exact
 // strings ByName accepts.
-func Names() []string {
-	out := make([]string, len(registry))
-	for i, e := range registry {
-		out[i] = e.name
-	}
-	sort.Strings(out)
-	return out
-}
+func Names() []string { return schemes.Names() }
 
 // Known reports whether name is a registered scheme name.
-func Known(name string) bool {
-	for _, e := range registry {
-		if e.name == name {
-			return true
-		}
-	}
-	return false
-}
+func Known(name string) bool { return schemes.Known(name) }
 
 // ByName returns a scheme from its CLI name. The error text lists the
 // registered names, so callers can surface it verbatim.
 func ByName(name string) (Scheme, error) {
-	for _, e := range registry {
-		if e.name == name {
-			return e.ctor(), nil
-		}
+	ctor, err := schemes.Get(name)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("recovery: unknown scheme %q (known: %s)",
-		name, strings.Join(Names(), ", "))
+	return ctor(), nil
 }

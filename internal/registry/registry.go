@@ -1,0 +1,102 @@
+// Package registry provides the one name→value table idiom the
+// repository's pluggable components share: core backends, recovery schemes,
+// and language evaluators all expose a sorted name list, a by-name lookup
+// whose error text enumerates exactly the registered set, and a flag-help
+// string derived from the same list — so CLI help, validation errors, and
+// the accepted vocabulary can never drift apart.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a concurrency-safe name→value table. The prefix and kind
+// parameterize its error text: a Registry created with ("recovery",
+// "scheme") reports `recovery: unknown scheme "x" (known: a, b)`.
+type Registry[T any] struct {
+	prefix string // error-text package prefix, e.g. "recovery"
+	kind   string // what a name denotes, e.g. "scheme"
+
+	mu     sync.RWMutex
+	byName map[string]T
+	names  []string // kept sorted; Names/FlagHelp/errors all read it
+}
+
+// New creates an empty registry whose errors read
+// "<prefix>: unknown <kind> %q (known: ...)".
+func New[T any](prefix, kind string) *Registry[T] {
+	return &Registry[T]{prefix: prefix, kind: kind, byName: map[string]T{}}
+}
+
+// Register adds a named value. Empty and duplicate names are errors.
+func (r *Registry[T]) Register(name string, v T) error {
+	if name == "" {
+		return fmt.Errorf("%s: %s name required", r.prefix, r.kind)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		return fmt.Errorf("%s: duplicate %s %q", r.prefix, r.kind, name)
+	}
+	r.byName[name] = v
+	i := sort.SearchStrings(r.names, name)
+	r.names = append(r.names, "")
+	copy(r.names[i+1:], r.names[i:])
+	r.names[i] = name
+	return nil
+}
+
+// MustRegister is Register for init-time wiring.
+func (r *Registry[T]) MustRegister(name string, v T) {
+	if err := r.Register(name, v); err != nil {
+		panic(err)
+	}
+}
+
+// Names lists the registered names in sorted order — the exact strings Get
+// accepts, in the one documented order every help string and error uses.
+func (r *Registry[T]) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.names...)
+}
+
+// Known reports whether name is registered.
+func (r *Registry[T]) Known(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.byName[name]
+	return ok
+}
+
+// Get resolves a registered name. The error text lists the registered names
+// so callers can surface it verbatim.
+func (r *Registry[T]) Get(name string) (T, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if v, ok := r.byName[name]; ok {
+		return v, nil
+	}
+	var zero T
+	return zero, Unknown(r.prefix, r.kind, name, r.names)
+}
+
+// FlagHelp renders the registered names as a "a|b|c" vocabulary for CLI
+// flag help strings.
+func (r *Registry[T]) FlagHelp() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return strings.Join(r.names, "|")
+}
+
+// Unknown is the shared unknown-name error: call sites that validate a name
+// against someone else's registry (machine.Config validating a recovery
+// scheme it holds by interface) format through it so their error text stays
+// in lockstep with the registry's own.
+func Unknown(prefix, kind, name string, known []string) error {
+	return fmt.Errorf("%s: unknown %s %q (known: %s)",
+		prefix, kind, name, strings.Join(known, ", "))
+}

@@ -1,0 +1,93 @@
+package registry
+
+import "testing"
+
+// The three production registries (core backends, recovery schemes, lang
+// evaluators) all surface this package's error text verbatim in CLI errors
+// and config validation, so the formats are pinned exactly: changing them
+// here is changing user-visible output at every call site at once.
+
+func TestRegisterSortsAndLists(t *testing.T) {
+	r := New[int]("demo", "widget")
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if err := r.Register(name, len(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	got := r.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	// Names returns a copy: mutating it must not corrupt the registry.
+	got[0] = "corrupted"
+	if r.Names()[0] != "alpha" {
+		t.Fatal("Names() exposed internal storage")
+	}
+	if r.FlagHelp() != "alpha|mid|zeta" {
+		t.Fatalf("FlagHelp() = %q", r.FlagHelp())
+	}
+}
+
+func TestGetAndKnown(t *testing.T) {
+	r := New[string]("demo", "widget")
+	if err := r.Register("a", "va"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("b", "vb"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.Get("a")
+	if err != nil || v != "va" {
+		t.Fatalf("Get(a) = %q, %v", v, err)
+	}
+	if !r.Known("b") || r.Known("c") {
+		t.Fatal("Known() wrong")
+	}
+	_, err = r.Get("nosuch")
+	if err == nil {
+		t.Fatal("unknown name resolved")
+	}
+	if want := `demo: unknown widget "nosuch" (known: a, b)`; err.Error() != want {
+		t.Fatalf("Get error = %q, want %q", err, want)
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	r := New[int]("demo", "widget")
+	if err := r.Register("", 0); err == nil || err.Error() != "demo: widget name required" {
+		t.Fatalf("empty-name error = %v", err)
+	}
+	if err := r.Register("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("x", 2); err == nil || err.Error() != `demo: duplicate widget "x"` {
+		t.Fatalf("duplicate error = %v", err)
+	}
+}
+
+// Unknown is the shared formatter external validators (machine.Config,
+// the live/net backend prepare paths) use so their error text cannot drift
+// from the registries'.
+func TestUnknownFormatter(t *testing.T) {
+	err := Unknown("machine", "evaluator", "nope", []string{"compiled", "interp"})
+	if want := `machine: unknown evaluator "nope" (known: compiled, interp)`; err.Error() != want {
+		t.Fatalf("Unknown() = %q, want %q", err, want)
+	}
+}
+
+func TestMustRegisterPanicsOnDuplicate(t *testing.T) {
+	r := New[int]("demo", "widget")
+	r.MustRegister("x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRegister did not panic on duplicate")
+		}
+	}()
+	r.MustRegister("x", 2)
+}

@@ -18,6 +18,7 @@ package topology
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 )
 
 // NodeID identifies a processor in the topology, 0-based.
@@ -225,13 +226,39 @@ func Kinds() []string {
 	return []string{"mesh", "torus", "ring", "hypercube", "tree", "regular", "star", "complete"}
 }
 
+// byNameCache memoizes ByName: every named topology is deterministic in
+// (kind, n) and a built table is immutable (all methods are reads; the
+// Neighbors contract already forbids mutation), so sweeps that rebuild the
+// same machine shape per cell share one BFS table instead of recomputing
+// O(N²) routes per run.
+var byNameCache sync.Map // byNameKey -> Topology
+
+type byNameKey struct {
+	kind string
+	n    int
+}
+
 // ByName constructs a topology from a short spec string, used by CLIs and
 // core.Config: "ring", "mesh", "torus", "hypercube", "tree" (complete binary
 // tree), "regular" (seeded random 4-regular graph), "complete", "star".
 // Mesh and torus pick the most square factorization of n; hypercube requires
 // n to be a power of two; "regular" samples with DefaultRegularSeed and
 // DefaultRegularDegree so the graph is reproducible across runs.
+// Results are cached: callers share one immutable instance per (kind, n).
 func ByName(kind string, n int) (Topology, error) {
+	key := byNameKey{kind: kind, n: n}
+	if v, ok := byNameCache.Load(key); ok {
+		return v.(Topology), nil
+	}
+	t, err := byName(kind, n)
+	if err != nil {
+		return nil, err
+	}
+	byNameCache.Store(key, t)
+	return t, nil
+}
+
+func byName(kind string, n int) (Topology, error) {
 	switch kind {
 	case "ring":
 		return Ring(n)
